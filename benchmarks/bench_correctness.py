@@ -1,0 +1,65 @@
+"""E11 (Theorem 1): the cost of checking provenance correctness.
+
+``⟦V : κ⟧ ⪯ log(M)`` is decided for every value of a monitored state.
+Expected shape: cost grows with run length on two axes — more values with
+longer provenances (bigger denotations) and a longer global log (bigger
+search space).  The ⪯ search is the dominant term.
+"""
+
+import pytest
+
+from repro.logs.ast import log_size
+from repro.logs.denotation import FreshVariables, denote
+from repro.logs.order import log_leq
+from repro.monitor import MonitoredSystem, check_correctness, monitored_values
+from repro.monitor.monitored import MonitoredEngine
+from repro.workloads import relay_chain
+
+from conftest import record_row
+
+HOPS = [2, 6, 12, 24]
+
+
+def final_state(hops: int):
+    workload = relay_chain(hops)
+    engine = MonitoredEngine(max_steps=10_000)
+    return engine.run(MonitoredSystem.start(workload.system)).final
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_full_state_check(benchmark, hops):
+    state = final_state(hops)
+    report = benchmark(check_correctness, state)
+    assert report.holds
+    record_row(
+        "E11-correctness",
+        f"hops={hops:3d}: {len(report):3d} values checked against "
+        f"{log_size(state.log):3d}-action log → holds",
+    )
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_single_leq_query(benchmark, hops):
+    """The dominant inner operation: one denotation vs the global log."""
+
+    state = final_state(hops)
+    values = monitored_values(state)
+    # pick the value with the longest provenance (the delivered payload)
+    term, provenance = max(values, key=lambda pair: len(pair[1]))
+    denotation = denote(term, provenance, FreshVariables())
+    result = benchmark(log_leq, denotation, state.log)
+    assert result
+
+
+@pytest.mark.parametrize("hops", [6, 12])
+def test_denotation_construction(benchmark, hops):
+    state = final_state(hops)
+    term, provenance = max(
+        monitored_values(state), key=lambda pair: len(pair[1])
+    )
+
+    def build():
+        return denote(term, provenance, FreshVariables())
+
+    log = benchmark(build)
+    assert log_size(log) == len(provenance)

@@ -1,0 +1,73 @@
+"""E7 (§2.3.2 auditing): relay chains, provenance growth, blame cost.
+
+Regenerates the auditing example's quantitative content: the delivered
+value's provenance is exactly ``c?ε; (sᵢ!ε; sᵢ?ε)ⁿ; a!ε`` — length
+``2n + 2`` — and the audit primitives (involved principals, custody chain,
+blame) are linear in that length.
+"""
+
+import pytest
+
+from repro.analysis.audit import RoutePolicy, blame, custody_chain, involved_principals
+from repro.core.engine import run
+from repro.core.names import Principal
+from repro.core.process import annotated_values
+from repro.core.system import located_components
+from repro.workloads import relay_chain
+
+from conftest import record_row
+
+HOPS = [1, 8, 32, 128]
+
+
+def delivered_provenance(hops: int):
+    workload = relay_chain(hops)
+    trace = run(workload.system)
+    for component in located_components(trace.final):
+        if component.principal == workload.consumer:
+            for value in annotated_values(component.process):
+                if value.value == workload.payload:
+                    return workload, value.provenance
+    raise AssertionError("value not delivered")
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_chain_run_and_delivery(benchmark, hops):
+    workload = relay_chain(hops)
+    trace = benchmark(run, workload.system)
+    assert trace.status.value == "quiescent"
+    record_row(
+        "E7-auditing",
+        f"hops={hops:4d}: reductions={len(trace):4d}  "
+        f"provenance length={2 * hops + 2}",
+    )
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_involved_principals_cost(benchmark, hops):
+    _, provenance = delivered_provenance(hops)
+    involved = benchmark(involved_principals, provenance)
+    assert len(involved) == hops + 2
+
+
+@pytest.mark.parametrize("hops", [8, 64])
+def test_custody_chain_cost(benchmark, hops):
+    _, provenance = delivered_provenance(hops)
+    chain = benchmark(custody_chain, provenance)
+    assert len(chain) == 2 * hops + 2
+
+
+@pytest.mark.parametrize("hops", [8, 64])
+def test_blame_cost(benchmark, hops):
+    workload, provenance = delivered_provenance(hops)
+    # intended route ends at 'b', not at the actual consumer 'c'
+    intended = RoutePolicy(
+        (workload.producer, *workload.relays, Principal("b"))
+    )
+    report = benchmark(blame, provenance, intended)
+    assert report.deviated
+    record_row(
+        "E7-auditing",
+        f"blame hops={hops:3d}: deviation at hop {report.deviation_index}, "
+        f"suspects={{{', '.join(sorted(p.name for p in report.suspects))}}}",
+    )

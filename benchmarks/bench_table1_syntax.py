@@ -1,0 +1,65 @@
+"""E1 (Table 1): the syntax as an executable artefact.
+
+Throughput of the three operations a user of the calculus' syntax pays
+for: programmatic construction, parsing, and pretty→parse round-trips, at
+three system sizes.  Correctness of the artefact is the parser round-trip
+property in the test-suite; here we size it.
+"""
+
+import pytest
+
+from repro.core.congruence import all_system_names
+from repro.core.system import system_size
+from repro.lang import parse_system, pretty_system
+from repro.workloads.random_systems import GeneratorConfig, random_system
+
+from conftest import record_row
+
+SIZES = {
+    "small": GeneratorConfig(n_components=4, n_messages=2),
+    "medium": GeneratorConfig(n_components=16, n_messages=8),
+    "large": GeneratorConfig(n_components=64, n_messages=16, max_depth=5),
+}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_construct_random_system(benchmark, size):
+    config = SIZES[size]
+    system = benchmark(random_system, 42, config)
+    record_row(
+        "E1-syntax",
+        f"construct {size:>6}: {system_size(system):5d} AST nodes",
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_pretty_print(benchmark, size):
+    system = random_system(42, SIZES[size])
+    text = benchmark(pretty_system, system)
+    record_row(
+        "E1-syntax", f"pretty    {size:>6}: {len(text):6d} chars"
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_parse(benchmark, size):
+    system = random_system(42, SIZES[size])
+    text = pretty_system(system)
+    principals = {
+        name for name in all_system_names(system) if name.startswith("p")
+    }
+    parsed = benchmark(parse_system, text, principals)
+    assert parsed == system
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_round_trip(benchmark, size):
+    system = random_system(42, SIZES[size])
+    principals = {
+        name for name in all_system_names(system) if name.startswith("p")
+    }
+
+    def round_trip():
+        return parse_system(pretty_system(system), principals)
+
+    assert benchmark(round_trip) == system

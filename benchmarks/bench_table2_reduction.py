@@ -1,0 +1,59 @@
+"""E2 (Table 2): reduction-semantics throughput and the tracking ablation.
+
+The paper's §5 names the cost of dynamic tracking ("run-time overhead as
+provenance is computed, updated and tests are performed against it") as
+the motivation for its future static analysis.  This bench quantifies it:
+full runs of relay chains and fan-outs under the TRACKED semantics versus
+the ERASED plain-asynchronous-pi baseline sharing the same engine.
+
+Expected shape: TRACKED ≥ ERASED, with the gap growing with hop count
+(provenance grows by two events per hop, so later sends copy longer
+annotations); both scale linearly in the number of communications.
+"""
+
+import pytest
+
+from repro.core.engine import run
+from repro.core.semantics import SemanticsMode
+from repro.workloads import fan_out, relay_chain
+
+from conftest import record_row
+
+CHAIN_LENGTHS = [4, 16, 64]
+FAN_WIDTHS = [8, 32]
+
+
+@pytest.mark.parametrize("hops", CHAIN_LENGTHS)
+@pytest.mark.parametrize("mode", ["tracked", "erased"])
+def test_relay_chain_full_run(benchmark, hops, mode):
+    semantics = SemanticsMode.TRACKED if mode == "tracked" else SemanticsMode.ERASED
+    workload = relay_chain(hops)
+
+    trace = benchmark(run, workload.system, mode=semantics)
+    assert len(trace) == 2 * (hops + 1)
+    record_row(
+        "E2-reduction",
+        f"chain hops={hops:3d} mode={mode:7s}: {len(trace)} reductions",
+    )
+
+
+@pytest.mark.parametrize("width", FAN_WIDTHS)
+@pytest.mark.parametrize("mode", ["tracked", "erased"])
+def test_fan_out_full_run(benchmark, width, mode):
+    semantics = SemanticsMode.TRACKED if mode == "tracked" else SemanticsMode.ERASED
+    system = fan_out(width)
+
+    trace = benchmark(run, system, mode=semantics)
+    assert len(trace) == 2 * width
+
+
+@pytest.mark.parametrize("hops", [16])
+def test_single_step_enumeration_cost(benchmark, hops):
+    """Redex enumeration on a mid-run chain state (the engine's hot path)."""
+
+    from repro.core.semantics import enumerate_steps
+
+    workload = relay_chain(hops)
+    mid_run = run(workload.system, max_steps=hops).final
+    steps = benchmark(enumerate_steps, mid_run)
+    assert steps

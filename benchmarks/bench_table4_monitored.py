@@ -1,0 +1,59 @@
+"""E4 (Table 4): the monitored semantics and the price of the global log.
+
+Monitored reduction performs the same work as plain reduction plus one
+log-prepend per step (cheap, persistent structure); the real cost in the
+meta-theory is *checking* states against the log.  Expected shape:
+monitored ≈ plain runs (log maintenance is O(1) per step); correctness
+checking grows with both log length and value-provenance size.
+"""
+
+import pytest
+
+from repro.core.engine import run
+from repro.logs.ast import log_size
+from repro.monitor import MonitoredSystem, check_correctness
+from repro.monitor.monitored import MonitoredEngine
+from repro.workloads import relay_chain
+
+from conftest import record_row
+
+HOPS = [4, 16, 48]
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_plain_run(benchmark, hops):
+    workload = relay_chain(hops)
+    trace = benchmark(run, workload.system)
+    assert len(trace) == 2 * (hops + 1)
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_monitored_run(benchmark, hops):
+    workload = relay_chain(hops)
+    engine = MonitoredEngine(max_steps=10_000)
+
+    trace = benchmark(engine.run, MonitoredSystem.start(workload.system))
+    final_log = trace.final.log
+    record_row(
+        "E4-monitored",
+        f"hops={hops:3d}: log actions={log_size(final_log):4d} "
+        f"(= reductions, one action per monadic step)",
+    )
+    assert log_size(final_log) == 2 * (hops + 1)
+
+
+@pytest.mark.parametrize("hops", [2, 6, 12])
+def test_correctness_check_cost(benchmark, hops):
+    """Definition 3 over the final state of a chain run (E11 companion)."""
+
+    workload = relay_chain(hops)
+    engine = MonitoredEngine(max_steps=10_000)
+    final = engine.run(MonitoredSystem.start(workload.system)).final
+
+    report = benchmark(check_correctness, final)
+    assert report.holds
+    record_row(
+        "E4-monitored",
+        f"check hops={hops:3d}: {len(report)} values vs "
+        f"{log_size(final.log)}-action log → holds={report.holds}",
+    )

@@ -1,0 +1,66 @@
+"""E15 (§5 trust & privacy): scoring throughput and redaction cost.
+
+Trust scoring walks every principal a provenance implicates; disclosure
+redaction rewrites the tree.  Expected shape: both linear in total event
+count; the adversary-fraction sweep shows the MIN aggregator collapsing
+to the weakest link as soon as one distrusted principal touches the data.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.privacy import Disclosure, DisclosurePolicy
+from repro.analysis.trust import Aggregation, TrustModel
+from repro.core.builder import pr
+from repro.workloads.random_systems import random_provenance
+
+from conftest import record_row
+
+PRINCIPALS = [pr(f"p{i}") for i in range(8)]
+LENGTHS = [8, 32, 128]
+
+
+def long_provenance(length: int):
+    return random_provenance(
+        random.Random(7), PRINCIPALS, max_length=length, max_depth=1
+    )
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("aggregation", list(Aggregation), ids=lambda a: a.value)
+def test_trust_scoring(benchmark, length, aggregation):
+    provenance = long_provenance(length)
+    model = TrustModel(
+        {PRINCIPALS[0]: 0.2, PRINCIPALS[1]: 0.9},
+        default=0.7,
+        aggregation=aggregation,
+    )
+    score = benchmark(model.score, provenance)
+    assert 0.0 <= score <= 1.0
+
+
+@pytest.mark.parametrize("bad_fraction", [0.0, 0.25, 0.5])
+def test_adversary_fraction_sweep(benchmark, bad_fraction):
+    provenance = long_provenance(64)
+    n_bad = int(len(PRINCIPALS) * bad_fraction)
+    model = TrustModel(
+        {p: 0.1 for p in PRINCIPALS[:n_bad]}, default=0.9
+    )
+    score = benchmark(model.score, provenance)
+    record_row(
+        "E15-trust",
+        f"bad fraction={bad_fraction:.2f}: min-trust score={score:.2f}",
+    )
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize(
+    "level", [Disclosure.DROP, Disclosure.HIDE_CHANNELS, Disclosure.ANONYMIZE],
+    ids=lambda l: l.value,
+)
+def test_redaction(benchmark, length, level):
+    provenance = long_provenance(length)
+    policy = DisclosurePolicy({PRINCIPALS[0]: level, PRINCIPALS[2]: level})
+    redacted = benchmark(policy.redact, provenance)
+    assert len(redacted) <= len(provenance)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's index
+(E1–E15).  pytest-benchmark provides the timing table; benches that also
+produce *result* series (provenance lengths, byte overheads, verdicts —
+the "rows the paper reports") attach them via :func:`record_row`, and a
+session-finish hook prints the collected experiment rows after the timing
+table, so a single ``pytest benchmarks/ --benchmark-only`` run yields
+everything EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+_ROWS: dict[str, list[str]] = defaultdict(list)
+
+
+def record_row(experiment: str, row: str) -> None:
+    """Attach a result row to an experiment's report."""
+
+    _ROWS[experiment].append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ROWS:
+        return
+    lines = ["", "=" * 72, "EXPERIMENT RESULT ROWS (paper-shape outputs)", "=" * 72]
+    for experiment in sorted(_ROWS):
+        lines.append(f"\n--- {experiment} ---")
+        lines.extend(_ROWS[experiment])
+    print("\n".join(lines))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A provenance-tracked data pipeline on the simulated runtime.
+
+A storage-flavoured scenario stitched from the paper's machinery: three
+ingest nodes feed records through a two-stage relay pipeline into an
+archive node.  One ingest node is known-flaky.  The archive:
+
+* *enforces* a provenance pattern at its input — records must have passed
+  through the ``clean`` stage;
+* *scores* each delivered record with a trust model that distrusts the
+  flaky ingester, quarantining low-trust records;
+* reports the middleware's measured provenance overhead (bytes of
+  metadata vs payload) — the §5 cost the benchmarks quantify.
+
+Run:  python examples/distributed_pipeline.py
+"""
+
+from repro import parse_system
+from repro.analysis import TrustModel
+from repro.core.names import Principal
+from repro.runtime import DistributedRuntime
+
+
+def main() -> None:
+    # ingest1/ingest2 are reliable, flaky is not; every record passes
+    # stage1 (dedup) then stage2 (clean), then reaches the archive, which
+    # requires "most recently sent by clean-stage" provenance.
+    system = parse_system(
+        """
+        ingest1[raw<r1>]
+        || ingest2[raw<r2>]
+        || flaky[raw<r3>]
+        || dedup[ raw(x).staged<x> | raw(x).staged<x> | raw(x).staged<x> ]
+        || clean[ staged(x).ready<x> | staged(x).ready<x> | staged(x).ready<x> ]
+        || archive[ ready(clean!any;any as x).0
+                  | ready(clean!any;any as x).0
+                  | ready(clean!any;any as x).0 ]
+        """
+    )
+
+    runtime = DistributedRuntime(seed=11)
+    runtime.deploy(system)
+    runtime.run()
+
+    metrics = runtime.metrics
+    print("pipeline finished at t =", round(runtime.now, 2))
+    print("deliveries:", metrics.deliveries,
+          "| messages:", metrics.messages_sent)
+
+    # -- trust-based quarantine at the archive ----------------------------
+    trust = TrustModel(
+        {Principal("flaky"): 0.1}, default=0.95, include_channel_provenance=True
+    )
+    archived = [
+        record
+        for record in metrics.delivered
+        if record.principal == Principal("archive")
+    ]
+    assert len(archived) == 3, "all three records must reach the archive"
+
+    print("\narchive ledger (trust-scored):")
+    quarantined = 0
+    for record in archived:
+        value = record.values[0]
+        score = trust.value_score(value)
+        verdict = "QUARANTINE" if score < 0.5 else "accept    "
+        if score < 0.5:
+            quarantined += 1
+        print(f"  [{verdict}] {value.value}  trust={score:.2f}  "
+              f"spine={len(value.provenance)} events")
+    assert quarantined == 1, "exactly the flaky-origin record is quarantined"
+
+    # -- measured provenance overhead --------------------------------------
+    summary = metrics.summary()
+    print("\nmiddleware metrics:")
+    for key in (
+        "bytes_payload",
+        "bytes_provenance",
+        "provenance_overhead_ratio",
+        "max_provenance_spine",
+        "pattern_checks",
+        "pattern_rejections",
+    ):
+        print(f"  {key}: {summary[key]}")
+    assert summary["bytes_provenance"] > 0
+
+    print("\nPipeline OK: pattern-enforced routing, trust quarantine and")
+    print("measured provenance overhead, all on the simulated cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — a faithful implementation of the provenance calculus.
+
+Reproduction of *A Formal Model of Provenance in Distributed Systems*
+(Souilah, Francalanza, Sassone; TaPP/FAST workshop 2009): an asynchronous
+pi-calculus with explicit identities, provenance-annotated data, a
+provenance-tracking reduction semantics and pattern-restricted input,
+together with the paper's meta-theory (logs, the information order, the
+denotation of provenance, monitored systems, correctness/completeness
+checkers) and the extensions its §5 sketches (trust, static analysis,
+disclosure control), plus a simulated distributed runtime.
+
+Quickstart::
+
+    from repro import parse_system, run, pretty_system
+
+    system = parse_system('''
+        a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]
+    ''')
+    trace = run(system)
+    print(pretty_system(trace.final))
+
+Packages
+--------
+
+``repro.core``      calculus kernel: syntax, semantics, engine, explorer
+``repro.patterns``  the sample pattern language of Table 3
+``repro.lang``      concrete syntax (parser and pretty-printer)
+``repro.logs``      logs, the ``⪯`` order, the denotation of provenance
+``repro.monitor``   monitored systems and the correctness/completeness checkers
+``repro.runtime``   discrete-event simulation of the trusted middleware
+``repro.analysis``  trust, static flow analysis, privacy, audit
+``repro.workloads`` workload generators for tests and benchmarks
+"""
+
+from repro.core import (
+    AnnotatedValue,
+    Channel,
+    EMPTY,
+    Engine,
+    FirstStrategy,
+    InputEvent,
+    LTS,
+    OutputEvent,
+    Principal,
+    Provenance,
+    RandomStrategy,
+    SemanticsMode,
+    System,
+    Trace,
+    Variable,
+    annotate,
+    enumerate_steps,
+    explore,
+    run,
+)
+from repro.lang import (
+    parse_process,
+    parse_provenance,
+    parse_system,
+    pretty_process,
+    pretty_provenance,
+    pretty_system,
+)
+from repro.logs import denote, log_leq
+from repro.monitor import (
+    MonitoredSystem,
+    check_completeness,
+    check_correctness,
+    has_complete_provenance,
+    has_correct_provenance,
+)
+from repro.patterns import parse_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,26 @@
+"""Analyses over provenance: audit, trust, privacy, static flow (§5)."""
+
+from repro.analysis.audit import (
+    AuditReport,
+    CustodyStep,
+    RoutePolicy,
+    blame,
+    custody_chain,
+    involved_principals,
+    transfers,
+)
+from repro.analysis.privacy import Disclosure, DisclosurePolicy
+from repro.analysis.static_flow import (
+    AbsProv,
+    AbsValue,
+    FlowAnalysis,
+    FlowReport,
+    SiteVerdict,
+    Verdict,
+    abstract_provenance,
+    analyse_flow,
+    match3,
+)
+from repro.analysis.trust import Aggregation, TrustModel, trusted_group
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,171 @@
+"""Auditing and blame: who touched this value? (§2.3.2, "Auditing").
+
+The paper's auditing scenario: a value meant for ``b`` ends up at ``c``;
+``c`` reads the provenance ``c?ε; s!ε; s?ε; a!ε`` off the faulty delivery
+and learns that ``a``, ``s`` and ``c`` itself were the principals involved
+in making the error.  This module turns that reading into tooling:
+
+* :func:`involved_principals` — the investigation set;
+* :func:`custody_chain` — the spine's events oldest-first, i.e. the
+  chronological chain of custody;
+* :func:`transfers` — the chain folded into (sender → receiver) hops;
+* :func:`blame` — diff the actual route against a :class:`RoutePolicy`
+  and point at the principals around the first deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.names import Principal
+from repro.core.provenance import InputEvent, OutputEvent, Provenance
+
+__all__ = [
+    "CustodyStep",
+    "involved_principals",
+    "custody_chain",
+    "transfers",
+    "RoutePolicy",
+    "AuditReport",
+    "blame",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CustodyStep:
+    """One event of the custody chain, oldest-first."""
+
+    principal: Principal
+    kind: str
+    """``"sent"`` or ``"received"``."""
+
+    def __str__(self) -> str:
+        return f"{self.principal} {self.kind}"
+
+
+def involved_principals(provenance: Provenance) -> frozenset[Principal]:
+    """Every principal implicated by the provenance (nested included)."""
+
+    return provenance.principals()
+
+
+def custody_chain(provenance: Provenance) -> list[CustodyStep]:
+    """Spine events in chronological (oldest-first) order.
+
+    Only the spine: events inside channel provenances concern the channels
+    used, not the value's own custody.
+    """
+
+    steps = []
+    for event in reversed(provenance.events):
+        if isinstance(event, OutputEvent):
+            steps.append(CustodyStep(event.principal, "sent"))
+        elif isinstance(event, InputEvent):
+            steps.append(CustodyStep(event.principal, "received"))
+    return steps
+
+
+def transfers(provenance: Provenance) -> list[tuple[Principal, Principal]]:
+    """The custody chain folded into (sender, receiver) hops.
+
+    A hop is an output event followed (chronologically) by an input event;
+    a trailing unmatched send is a message still in flight and yields no
+    hop.
+    """
+
+    hops = []
+    chain = custody_chain(provenance)
+    index = 0
+    while index < len(chain) - 1:
+        first, second = chain[index], chain[index + 1]
+        if first.kind == "sent" and second.kind == "received":
+            hops.append((first.principal, second.principal))
+            index += 2
+        else:
+            index += 1
+    return hops
+
+
+@dataclass(frozen=True, slots=True)
+class RoutePolicy:
+    """The intended route of a value: principals in custody order.
+
+    For the paper's scenario the intended route of ``v`` is
+    ``(a, s, b)`` — produced at ``a``, relayed by ``s``, consumed by ``b``.
+    """
+
+    route: tuple[Principal, ...]
+
+    def expected_hops(self) -> list[tuple[Principal, Principal]]:
+        return list(zip(self.route, self.route[1:]))
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """The result of diffing actual custody against the intended route."""
+
+    actual_hops: tuple[tuple[Principal, Principal], ...]
+    expected_hops: tuple[tuple[Principal, Principal], ...]
+    deviation_index: Optional[int]
+    suspects: frozenset[Principal]
+    involved: frozenset[Principal]
+
+    @property
+    def deviated(self) -> bool:
+        return self.deviation_index is not None
+
+    def __str__(self) -> str:
+        if not self.deviated:
+            return "route followed as intended"
+        names = ", ".join(sorted(p.name for p in self.suspects))
+        return (
+            f"deviation at hop {self.deviation_index}: suspects {{{names}}}"
+        )
+
+
+def blame(provenance: Provenance, policy: RoutePolicy) -> AuditReport:
+    """Find the first hop where custody deviated from the intended route.
+
+    The suspects of a deviating hop are its sender (who mis-routed) and
+    its actual receiver (who holds data not meant for them); when the
+    actual route is a strict *prefix* of the intended one, the last
+    correct holder is suspected of sitting on the value.
+    """
+
+    actual = transfers(provenance)
+    expected = policy.expected_hops()
+    for index, (actual_hop, expected_hop) in enumerate(zip(actual, expected)):
+        if actual_hop != expected_hop:
+            return AuditReport(
+                tuple(actual),
+                tuple(expected),
+                index,
+                frozenset((actual_hop[0], actual_hop[1])),
+                involved_principals(provenance),
+            )
+    if len(actual) < len(expected):
+        stalled = expected[len(actual)][0]
+        return AuditReport(
+            tuple(actual),
+            tuple(expected),
+            len(actual),
+            frozenset((stalled,)),
+            involved_principals(provenance),
+        )
+    if len(actual) > len(expected):
+        extra = actual[len(expected)]
+        return AuditReport(
+            tuple(actual),
+            tuple(expected),
+            len(expected),
+            frozenset(extra),
+            involved_principals(provenance),
+        )
+    return AuditReport(
+        tuple(actual),
+        tuple(expected),
+        None,
+        frozenset(),
+        involved_principals(provenance),
+    )

@@ -1,0 +1,107 @@
+"""Disclosure control over provenance (§5).
+
+"In many applications, principals may wish to control the disclosure of
+provenance information about them."  A :class:`DisclosurePolicy` maps
+each principal to a disclosure level applied to *their* events when a
+provenance sequence is shown to a viewer:
+
+* ``FULL``          — the event is disclosed as-is;
+* ``HIDE_CHANNELS`` — the event survives but its channel provenance is
+  blanked (the principal reveals *that* it handled the value, not *how*);
+* ``DROP``          — the event is removed entirely;
+* ``ANONYMIZE``     — the principal is replaced by a stable pseudonym.
+
+Information monotonicity: ``FULL``, ``HIDE_CHANNELS`` and ``DROP`` only
+*remove* assertions, so the redacted provenance denotes ⪯-less
+information than the original (property-tested).  ``ANONYMIZE`` rewrites
+assertions — the pseudonymous events are claims about a principal that
+does not exist — and is deliberately *not* monotone; it trades
+correctness-against-the-log for unlinkability, which is the standard
+privacy/utility trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.names import Principal
+from repro.core.provenance import (
+    EMPTY,
+    Event,
+    InputEvent,
+    OutputEvent,
+    Provenance,
+)
+from repro.core.values import AnnotatedValue
+
+__all__ = ["Disclosure", "DisclosurePolicy"]
+
+
+class Disclosure(enum.Enum):
+    """Per-principal disclosure levels."""
+
+    FULL = "full"
+    HIDE_CHANNELS = "hide-channels"
+    DROP = "drop"
+    ANONYMIZE = "anonymize"
+
+
+@dataclass(slots=True)
+class DisclosurePolicy:
+    """Redacts provenance according to per-principal rules."""
+
+    rules: Mapping[Principal, Disclosure] = field(default_factory=dict)
+    default: Disclosure = Disclosure.FULL
+    _pseudonyms: dict[Principal, Principal] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def level_of(self, principal: Principal) -> Disclosure:
+        return self.rules.get(principal, self.default)
+
+    def pseudonym(self, principal: Principal) -> Principal:
+        """A stable opaque alias (``anon1``, ``anon2``, … in first-use order)."""
+
+        existing = self._pseudonyms.get(principal)
+        if existing is None:
+            existing = Principal(f"anon{len(self._pseudonyms) + 1}")
+            self._pseudonyms[principal] = existing
+        return existing
+
+    def redact(self, provenance: Provenance) -> Provenance:
+        """The viewer-facing version of ``provenance``."""
+
+        events = []
+        for event in provenance.events:
+            redacted = self._redact_event(event)
+            if redacted is not None:
+                events.append(redacted)
+        return Provenance(tuple(events))
+
+    def _redact_event(self, event: Event) -> Event | None:
+        level = self.level_of(event.principal)
+        if level is Disclosure.DROP:
+            return None
+        constructor = OutputEvent if isinstance(event, OutputEvent) else InputEvent
+        if level is Disclosure.HIDE_CHANNELS:
+            return constructor(event.principal, EMPTY)
+        nested = self.redact(event.channel_provenance)
+        if level is Disclosure.ANONYMIZE:
+            return constructor(self.pseudonym(event.principal), nested)
+        return constructor(event.principal, nested)
+
+    def redact_value(self, value: AnnotatedValue) -> AnnotatedValue:
+        return AnnotatedValue(value.value, self.redact(value.provenance))
+
+    def is_information_monotone(self) -> bool:
+        """True when every rule only removes information (no ANONYMIZE).
+
+        For monotone policies, ``⟦V : redact(κ)⟧ ⪯ ⟦V : κ⟧`` holds for all
+        values — the redacted view never claims anything the original did
+        not (property-tested in ``tests/test_privacy.py``).
+        """
+
+        levels = set(self.rules.values()) | {self.default}
+        return Disclosure.ANONYMIZE not in levels

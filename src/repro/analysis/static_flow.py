@@ -1,0 +1,575 @@
+"""Static provenance-flow analysis (§5).
+
+The paper proposes "a static analysis that would alleviate the need for
+dynamic provenance tracking … analyse the flow of data between principals
+and make sure that principals would only receive data with provenance that
+matches their expectations".  This module is that analysis:
+
+* **abstract domain** — provenances truncated to ``k`` spine events and
+  ``nesting`` levels of channel provenance (:class:`AbsProv`); an abstract
+  value pairs a plain value (or ``None`` = unknown) with an abstract
+  provenance.  Over the finite principal/channel pools of a closed system
+  the domain is finite, so the fixpoint terminates.
+* **three-valued matching** — :func:`match3` decides ``κ̂ ⊨ π`` as
+  ``YES`` / ``NO`` / ``MAYBE`` by a two-set (certain / possible) NFA
+  simulation; truncation and nested ``MAYBE`` edges degrade answers to
+  ``MAYBE``, never to a wrong ``YES``/``NO``.
+* **flow fixpoint** — a worklist interpretation of the system: outputs
+  accumulate abstract payload tuples in per-channel stores (monotonically),
+  inputs fork continuations for every arriving tuple a branch might admit,
+  replication bodies are interpreted once (the stores make re-execution
+  redundant).
+
+Per input branch, the analysis reports a :class:`Verdict`:
+
+* ``REDUNDANT`` — every value that can ever arrive definitely matches:
+  the dynamic check can be compiled away;
+* ``DEAD`` — no arriving value can match: the branch is unreachable;
+* ``NEEDED`` — some arrival might fail the pattern: keep the check.
+
+Soundness: arriving sets over-approximate, matching is exact on
+untruncated abstract values and conservative otherwise, so ``REDUNDANT``
+and ``DEAD`` verdicts are trustworthy; ``NEEDED`` may be a false alarm.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.congruence import normalize
+from repro.core.errors import AnalysisError
+from repro.core.names import Channel, PlainValue, Principal, Variable
+from repro.core.patterns import MatchAll, MatchNone, Pattern
+from repro.core.process import (
+    Inaction,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.core.system import Located, Message, System
+from repro.core.values import AnnotatedValue, Identifier
+from repro.patterns.ast import AnyPattern, EventPattern, SamplePattern
+from repro.patterns.nfa import NFA, compile_pattern
+
+__all__ = [
+    "AbsProv",
+    "AbsEvent",
+    "AbsValue",
+    "abstract_provenance",
+    "Verdict",
+    "match3",
+    "SiteVerdict",
+    "SiteReport",
+    "FlowReport",
+    "FlowAnalysis",
+    "analyse_flow",
+]
+
+
+# ---------------------------------------------------------------------------
+# Abstract domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AbsProv:
+    """A provenance truncated to a bounded prefix.
+
+    ``truncated`` records that an unknown (possibly empty) suffix of
+    *older* events was cut off; matching must treat that suffix as
+    arbitrary.
+    """
+
+    events: tuple["AbsEvent", ...] = ()
+    truncated: bool = False
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(e) for e in self.events)
+        return "{" + inner + ("; …" if self.truncated else "") + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class AbsEvent:
+    """One abstract event: polarity, principal, abstract channel history."""
+
+    symbol: str
+    principal: Principal
+    channel: AbsProv
+
+    def __str__(self) -> str:
+        return f"{self.principal}{self.symbol}{self.channel}"
+
+
+UNKNOWN_PROV = AbsProv((), True)
+"""Completely unknown history — the ⊤ of the provenance lattice."""
+
+
+def abstract_provenance(
+    provenance: Provenance, k: int, nesting: int
+) -> AbsProv:
+    """``α_k`` — keep the ``k`` most recent events, ``nesting`` levels deep."""
+
+    if nesting < 0:
+        return UNKNOWN_PROV
+    events = []
+    for event in provenance.events[:k]:
+        events.append(_abstract_event(event, k, nesting))
+    return AbsProv(tuple(events), truncated=len(provenance.events) > k)
+
+
+def _abstract_event(event: Event, k: int, nesting: int) -> AbsEvent:
+    symbol = "!" if isinstance(event, OutputEvent) else "?"
+    return AbsEvent(
+        symbol,
+        event.principal,
+        abstract_provenance(event.channel_provenance, k, nesting - 1),
+    )
+
+
+def extend(prov: AbsProv, event: AbsEvent, k: int) -> AbsProv:
+    """Prepend an event, re-truncating to the spine bound."""
+
+    events = (event,) + prov.events
+    if len(events) > k:
+        return AbsProv(events[:k], truncated=True)
+    return AbsProv(events, prov.truncated)
+
+
+@dataclass(frozen=True, slots=True)
+class AbsValue:
+    """An abstract annotated value; ``plain=None`` means unknown identity."""
+
+    plain: Optional[PlainValue]
+    prov: AbsProv
+
+    def __str__(self) -> str:
+        name = self.plain.name if self.plain is not None else "⊤"
+        return f"{name}:{self.prov}"
+
+
+# ---------------------------------------------------------------------------
+# Three-valued matching
+# ---------------------------------------------------------------------------
+
+
+class Verdict(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    MAYBE = "maybe"
+
+
+def _combine(verdicts: list[Verdict]) -> Verdict:
+    if any(v is Verdict.NO for v in verdicts):
+        return Verdict.NO
+    if all(v is Verdict.YES for v in verdicts):
+        return Verdict.YES
+    return Verdict.MAYBE
+
+
+_compiled_cache: dict[SamplePattern, NFA] = {}
+
+
+def _compiled(pattern: SamplePattern) -> NFA:
+    nfa = _compiled_cache.get(pattern)
+    if nfa is None:
+        nfa = compile_pattern(pattern)
+        _compiled_cache[pattern] = nfa
+    return nfa
+
+
+def match3(prov: AbsProv, pattern: Pattern) -> Verdict:
+    """Conservative ``κ̂ ⊨ π``."""
+
+    if isinstance(pattern, MatchAll):
+        return Verdict.YES
+    if isinstance(pattern, MatchNone):
+        return Verdict.NO
+    if isinstance(pattern, AnyPattern):
+        return Verdict.YES
+    if not isinstance(pattern, SamplePattern):
+        raise AnalysisError(f"cannot statically analyse pattern {pattern!r}")
+
+    nfa = _compiled(pattern)
+    certain = nfa.epsilon_closure(frozenset((nfa.start,)))
+    possible = certain
+    for event in prov.events:
+        next_certain: set[int] = set()
+        next_possible: set[int] = set()
+        for state in possible:
+            for test, target in nfa.edges[state]:
+                if test is None:
+                    continue
+                verdict = _edge3(test, event)
+                if verdict is Verdict.NO:
+                    continue
+                next_possible.add(target)
+                if verdict is Verdict.YES and state in certain:
+                    next_certain.add(target)
+        possible = nfa.epsilon_closure(frozenset(next_possible))
+        certain = nfa.epsilon_closure(frozenset(next_certain))
+        if not possible:
+            return Verdict.NO
+    if prov.truncated:
+        if not _can_reach_accept(nfa, possible):
+            return Verdict.NO
+        # A truncated history could only be a definite YES if the pattern
+        # accepted *every* extension; we only claim that for ``Any``.
+        return Verdict.MAYBE
+    if nfa.accept in certain:
+        return Verdict.YES
+    if nfa.accept in possible:
+        return Verdict.MAYBE
+    return Verdict.NO
+
+
+def _edge3(test, event: AbsEvent) -> Verdict:
+    if test == "wild":
+        return Verdict.YES
+    assert isinstance(test, EventPattern)
+    if test.direction != event.symbol:
+        return Verdict.NO
+    if not test.group.contains(event.principal):
+        return Verdict.NO
+    return match3(event.channel, test.channel_pattern)
+
+
+def _can_reach_accept(nfa: NFA, states: frozenset[int]) -> bool:
+    frontier = list(states)
+    seen = set(states)
+    while frontier:
+        state = frontier.pop()
+        if state == nfa.accept:
+            return True
+        for _, target in nfa.edges[state]:
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Flow fixpoint
+# ---------------------------------------------------------------------------
+
+
+class SiteVerdict(enum.Enum):
+    REDUNDANT = "redundant"
+    DEAD = "dead"
+    NEEDED = "needed"
+
+
+@dataclass(frozen=True, slots=True)
+class SiteKey:
+    """Identifies an input branch: who listens, where, which summand."""
+
+    principal: Principal
+    channel: str
+    branch_index: int
+    patterns: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.principal}@{self.channel}"
+            f"#{self.branch_index}({self.patterns})"
+        )
+
+
+@dataclass(slots=True)
+class SiteReport:
+    """Accumulated verdicts for one input site."""
+
+    key: SiteKey
+    arrivals: int = 0
+    yes: int = 0
+    no: int = 0
+    maybe: int = 0
+
+    @property
+    def verdict(self) -> SiteVerdict:
+        if self.arrivals == 0 or (self.no == self.arrivals):
+            return SiteVerdict.DEAD
+        if self.yes == self.arrivals:
+            return SiteVerdict.REDUNDANT
+        return SiteVerdict.NEEDED
+
+
+@dataclass(slots=True)
+class FlowReport:
+    """Outcome of the analysis over a whole system."""
+
+    sites: dict[SiteKey, SiteReport] = field(default_factory=dict)
+    complete: bool = True
+    configs_explored: int = 0
+
+    def by_verdict(self, verdict: SiteVerdict) -> list[SiteReport]:
+        return [site for site in self.sites.values() if site.verdict is verdict]
+
+    @property
+    def redundant(self) -> list[SiteReport]:
+        return self.by_verdict(SiteVerdict.REDUNDANT)
+
+    @property
+    def dead(self) -> list[SiteReport]:
+        return self.by_verdict(SiteVerdict.DEAD)
+
+    @property
+    def needed(self) -> list[SiteReport]:
+        return self.by_verdict(SiteVerdict.NEEDED)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "sites": len(self.sites),
+            "redundant": len(self.redundant),
+            "dead": len(self.dead),
+            "needed": len(self.needed),
+            "configs": self.configs_explored,
+        }
+
+
+_Env = tuple[tuple[Variable, AbsValue], ...]
+
+
+class FlowAnalysis:
+    """One analysis run over one closed system."""
+
+    def __init__(
+        self,
+        system: System,
+        k: int = 4,
+        nesting: int = 2,
+        max_configs: int = 50_000,
+    ) -> None:
+        self.k = k
+        self.nesting = nesting
+        self.max_configs = max_configs
+        self._nf = normalize(system)
+        self._channels = self._collect_channels()
+        self._store: dict[Channel, set[tuple[AbsValue, ...]]] = {}
+        self._listeners: dict[Channel, list[tuple[Principal, InputSum, _Env]]] = {}
+        self._queue: deque = deque()
+        self._seen: set = set()
+        self.report = FlowReport()
+
+    def _collect_channels(self) -> set[Channel]:
+        channels: set[Channel] = set()
+
+        def visit_identifier(identifier: Identifier) -> None:
+            if isinstance(identifier, AnnotatedValue) and isinstance(
+                identifier.value, Channel
+            ):
+                channels.add(identifier.value)
+
+        def visit(process: Process) -> None:
+            if isinstance(process, Output):
+                visit_identifier(process.channel)
+                for w in process.payload:
+                    visit_identifier(w)
+            elif isinstance(process, InputSum):
+                visit_identifier(process.channel)
+                for branch in process.branches:
+                    visit(branch.continuation)
+            elif isinstance(process, Match):
+                visit_identifier(process.left)
+                visit_identifier(process.right)
+                visit(process.then_branch)
+                visit(process.else_branch)
+            elif isinstance(process, Restriction):
+                channels.add(process.channel)
+                visit(process.body)
+            elif isinstance(process, Parallel):
+                for part in process.parts:
+                    visit(part)
+            elif isinstance(process, Replication):
+                visit(process.body)
+
+        for component in self._nf.components:
+            if isinstance(component, Located):
+                visit(component.process)
+            elif isinstance(component, Message):
+                channels.add(component.channel)
+        channels.update(self._nf.restricted)
+        return channels
+
+    # -- the worklist ----------------------------------------------------
+
+    def run(self) -> FlowReport:
+        for component in self._nf.components:
+            if isinstance(component, Located):
+                self._push(component.principal, component.process, ())
+            elif isinstance(component, Message):
+                values = tuple(
+                    AbsValue(
+                        w.value,
+                        abstract_provenance(w.provenance, self.k, self.nesting),
+                    )
+                    for w in component.payload
+                )
+                self._post(component.channel, values)
+        while self._queue:
+            if self.report.configs_explored >= self.max_configs:
+                self.report.complete = False
+                break
+            principal, process, env = self._queue.popleft()
+            self.report.configs_explored += 1
+            self._step(principal, process, env)
+        return self.report
+
+    def _push(self, principal: Principal, process: Process, env: _Env) -> None:
+        key = (principal, id(process), env)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._queue.append((principal, process, env))
+
+    def _resolve(self, identifier: Identifier, env: _Env) -> AbsValue:
+        if isinstance(identifier, Variable):
+            for variable, value in env:
+                if variable == identifier:
+                    return value
+            return AbsValue(None, UNKNOWN_PROV)
+        return AbsValue(
+            identifier.value,
+            abstract_provenance(identifier.provenance, self.k, self.nesting),
+        )
+
+    def _post(self, channel: Channel, values: tuple[AbsValue, ...]) -> None:
+        store = self._store.setdefault(channel, set())
+        if values in store:
+            return
+        store.add(values)
+        for principal, input_sum, env in self._listeners.get(channel, []):
+            self._deliver(principal, input_sum, env, channel, values)
+
+    def _step(self, principal: Principal, process: Process, env: _Env) -> None:
+        if isinstance(process, Inaction):
+            return
+        if isinstance(process, Parallel):
+            for part in process.parts:
+                self._push(principal, part, env)
+            return
+        if isinstance(process, Restriction):
+            # One abstract channel per syntactic restriction: all dynamic
+            # instances are merged, a standard finite over-approximation.
+            self._push(principal, process.body, env)
+            return
+        if isinstance(process, Replication):
+            self._push(principal, process.body, env)
+            return
+        if isinstance(process, Output):
+            self._step_output(principal, process, env)
+            return
+        if isinstance(process, InputSum):
+            self._step_input(principal, process, env)
+            return
+        if isinstance(process, Match):
+            left = self._resolve(process.left, env)
+            right = self._resolve(process.right, env)
+            if left.plain is not None and right.plain is not None:
+                chosen = (
+                    process.then_branch
+                    if left.plain == right.plain
+                    else process.else_branch
+                )
+                self._push(principal, chosen, env)
+            else:
+                self._push(principal, process.then_branch, env)
+                self._push(principal, process.else_branch, env)
+            return
+        raise AnalysisError(f"cannot analyse process {process!r}")
+
+    def _step_output(self, principal: Principal, process: Output, env: _Env) -> None:
+        subject = self._resolve(process.channel, env)
+        payload = tuple(self._resolve(w, env) for w in process.payload)
+        event = AbsEvent("!", principal, subject.prov)
+        stamped = tuple(
+            AbsValue(value.plain, extend(value.prov, event, self.k))
+            for value in payload
+        )
+        if subject.plain is None:
+            targets = list(self._channels)
+        elif isinstance(subject.plain, Channel):
+            targets = [subject.plain]
+        else:
+            return  # output on a principal name: stuck, flows nowhere
+        for channel in targets:
+            self._post(channel, stamped)
+
+    def _step_input(self, principal: Principal, process: InputSum, env: _Env) -> None:
+        subject = self._resolve(process.channel, env)
+        if subject.plain is None:
+            channels = list(self._channels)
+        elif isinstance(subject.plain, Channel):
+            channels = [subject.plain]
+        else:
+            return
+        for channel in channels:
+            for branch_index, branch in enumerate(process.branches):
+                key = SiteKey(
+                    principal,
+                    channel.name,
+                    branch_index,
+                    ", ".join(str(p) for p in branch.patterns),
+                )
+                self.report.sites.setdefault(key, SiteReport(key))
+            self._listeners.setdefault(channel, []).append(
+                (principal, process, env)
+            )
+            for values in list(self._store.get(channel, ())):
+                self._deliver(principal, process, env, channel, values)
+
+    def _deliver(
+        self,
+        principal: Principal,
+        input_sum: InputSum,
+        env: _Env,
+        channel: Channel,
+        values: tuple[AbsValue, ...],
+    ) -> None:
+        subject = self._resolve(input_sum.channel, env)
+        for branch_index, branch in enumerate(input_sum.branches):
+            key = SiteKey(
+                principal,
+                channel.name,
+                branch_index,
+                ", ".join(str(p) for p in branch.patterns),
+            )
+            site = self.report.sites.setdefault(key, SiteReport(key))
+            if len(values) != branch.arity:
+                continue
+            verdict = _combine(
+                [
+                    match3(value.prov, pattern)
+                    for value, pattern in zip(values, branch.patterns)
+                ]
+            )
+            site.arrivals += 1
+            if verdict is Verdict.YES:
+                site.yes += 1
+            elif verdict is Verdict.NO:
+                site.no += 1
+                continue
+            else:
+                site.maybe += 1
+            event = AbsEvent("?", principal, subject.prov)
+            received = tuple(
+                AbsValue(value.plain, extend(value.prov, event, self.k))
+                for value in values
+            )
+            extended_env = env + tuple(zip(branch.binders, received))
+            self._push(principal, branch.continuation, extended_env)
+
+
+def analyse_flow(
+    system: System, k: int = 4, nesting: int = 2, max_configs: int = 50_000
+) -> FlowReport:
+    """Run the static analysis on a closed system (one-shot wrapper)."""
+
+    return FlowAnalysis(system, k=k, nesting=nesting, max_configs=max_configs).run()

@@ -1,0 +1,209 @@
+"""Ergonomic constructors for building calculus terms programmatically.
+
+The raw AST constructors are verbose (every identifier must be wrapped in
+an :class:`AnnotatedValue`, tuples everywhere).  This module provides the
+compact combinators the examples, tests and workload generators use::
+
+    from repro.core.builder import ch, pr, var, out, inp, located, msg
+
+    m, a, x = ch("m"), pr("a"), var("x")
+    system = located(a, out(m, pr("v"))) | located(pr("b"), inp(m, x, body=...))
+
+Strings are *not* auto-coerced into names: the three name sorts are
+disjoint in the calculus and silent coercion would hide sort errors, so
+every name is built with :func:`ch` / :func:`pr` / :func:`var` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.names import Channel, Principal, Variable
+from repro.core.patterns import MatchAll, Pattern
+from repro.core.process import (
+    Inaction,
+    InputBranch,
+    InputSum,
+    Match,
+    Output,
+    Process,
+    Replication,
+    Restriction,
+    parallel,
+)
+from repro.core.provenance import EMPTY, Provenance
+from repro.core.system import Located, Message, SysRestriction, System, system_parallel
+from repro.core.values import AnnotatedValue, Identifier
+
+__all__ = [
+    "ch",
+    "pr",
+    "var",
+    "av",
+    "out",
+    "branch",
+    "inp",
+    "choice",
+    "match",
+    "new",
+    "rep",
+    "par",
+    "nil",
+    "located",
+    "msg",
+    "sys_par",
+    "sys_new",
+]
+
+Term = Union[Channel, Principal, Variable, AnnotatedValue]
+
+
+def ch(name: str) -> Channel:
+    """A channel name."""
+
+    return Channel(name)
+
+
+def pr(name: str) -> Principal:
+    """A principal name."""
+
+    return Principal(name)
+
+
+def var(name: str) -> Variable:
+    """A variable."""
+
+    return Variable(name)
+
+
+def av(term: Term, provenance: Provenance = EMPTY) -> Identifier:
+    """Coerce a term into an identifier.
+
+    Channels and principals become annotated values (default provenance
+    ``ε``); variables and already-annotated values pass through unchanged.
+    """
+
+    if isinstance(term, (Channel, Principal)):
+        return AnnotatedValue(term, provenance)
+    if isinstance(term, (AnnotatedValue, Variable)):
+        if provenance is not EMPTY:
+            raise ValueError("provenance argument only applies to plain values")
+        return term
+    raise TypeError(f"cannot build an identifier from {term!r}")
+
+
+def out(channel: Term, *payload: Term) -> Output:
+    """``channel⟨payload…⟩`` — asynchronous output."""
+
+    return Output(av(channel), tuple(av(w) for w in payload))
+
+
+def branch(
+    *bindings: Union[Variable, tuple[Pattern, Variable]],
+    body: Process | None = None,
+) -> InputBranch:
+    """One input summand.
+
+    Each binding is either a bare variable (pattern defaults to the
+    always-matching ``MatchAll``) or a ``(pattern, variable)`` pair.
+    """
+
+    patterns: list[Pattern] = []
+    binders: list[Variable] = []
+    for binding in bindings:
+        if isinstance(binding, Variable):
+            patterns.append(MatchAll())
+            binders.append(binding)
+        else:
+            pattern, binder = binding
+            patterns.append(pattern)
+            binders.append(binder)
+    return InputBranch(tuple(patterns), tuple(binders), body or Inaction())
+
+
+def inp(
+    channel: Term,
+    *bindings: Union[Variable, tuple[Pattern, Variable]],
+    body: Process | None = None,
+) -> InputSum:
+    """Single-branch pattern-restricted input ``channel(π as x…).body``."""
+
+    return InputSum(av(channel), (branch(*bindings, body=body),))
+
+
+def choice(channel: Term, *branches: InputBranch) -> InputSum:
+    """Input-guarded sum over the same channel ``Σᵢ channel(πᵢ as xᵢ).Pᵢ``."""
+
+    return InputSum(av(channel), tuple(branches))
+
+
+def match(
+    left: Term,
+    right: Term,
+    then_branch: Process | None = None,
+    else_branch: Process | None = None,
+) -> Match:
+    """``if left = right then … else …`` (branches default to ``0``)."""
+
+    return Match(
+        av(left),
+        av(right),
+        then_branch or Inaction(),
+        else_branch or Inaction(),
+    )
+
+
+def new(channel: Union[str, Channel], body: Process) -> Restriction:
+    """``(νn)body``."""
+
+    binder = channel if isinstance(channel, Channel) else Channel(channel)
+    return Restriction(binder, body)
+
+
+def rep(body: Process) -> Replication:
+    """``∗body``."""
+
+    return Replication(body)
+
+
+def par(*parts: Process) -> Process:
+    """``P | Q | …`` (flattening, unit-dropping)."""
+
+    return parallel(*parts)
+
+
+def nil() -> Inaction:
+    """``0``."""
+
+    return Inaction()
+
+
+def located(principal: Principal, process: Process) -> Located:
+    """``principal[process]``."""
+
+    return Located(principal, process)
+
+
+def msg(channel: Channel, *payload: Union[Term, AnnotatedValue]) -> Message:
+    """An in-flight message ``channel⟨⟨payload…⟩⟩``."""
+
+    values = []
+    for w in payload:
+        identifier = av(w)
+        if not isinstance(identifier, AnnotatedValue):
+            raise TypeError("message payload must be values, not variables")
+        values.append(identifier)
+    return Message(channel, tuple(values))
+
+
+def sys_par(*parts: System) -> System:
+    """``S ‖ T ‖ …`` (flattening)."""
+
+    return system_parallel(*parts)
+
+
+def sys_new(channel: Union[str, Channel], body: System) -> SysRestriction:
+    """``(νn)S``."""
+
+    binder = channel if isinstance(channel, Channel) else Channel(channel)
+    return SysRestriction(binder, body)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the provenance calculus.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OpenTermError",
+    "IllFormedTermError",
+    "PatternArityError",
+    "ReductionError",
+    "ParseError",
+    "WireFormatError",
+    "SimulationError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class OpenTermError(ReproError):
+    """An operation required a closed term but found free variables.
+
+    The provenance-tracking reduction relation of the paper is defined on
+    *closed* systems only (Section 2.2); attempting to reduce a system with
+    free variables raises this error rather than silently misbehaving.
+    """
+
+    def __init__(self, variables, context: str = "") -> None:
+        names = ", ".join(sorted(v.name for v in variables))
+        suffix = f" in {context}" if context else ""
+        super().__init__(f"term has free variables {{{names}}}{suffix}")
+        self.variables = frozenset(variables)
+
+
+class IllFormedTermError(ReproError):
+    """A term violates a structural well-formedness condition.
+
+    Examples: an input sum whose branches listen on different channels, an
+    input branch whose pattern and binder tuples have different lengths, or
+    an annotated value whose plain part is a variable.
+    """
+
+
+class PatternArityError(IllFormedTermError):
+    """An input branch's pattern tuple and binder tuple disagree in length."""
+
+
+class ReductionError(ReproError):
+    """The reduction engine was asked to perform an impossible step."""
+
+
+class ParseError(ReproError):
+    """The concrete-syntax parser rejected its input.
+
+    Carries the offending position so tooling can point at the error.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class WireFormatError(ReproError):
+    """The runtime wire codec met malformed bytes while decoding."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event runtime reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass was applied to an unsupported system."""

@@ -1,0 +1,158 @@
+"""Exhaustive state-space exploration of small systems.
+
+The paper argues about *all* evolutions of its example systems ("the system
+above evolves as follows…", "S →* c[P{…}]").  To check such claims
+mechanically we build the labelled transition system of a term by
+breadth-first search over canonical forms.  Canonicalization merges
+structurally congruent states, so replication-free systems always have a
+finite LTS; systems with replication are cut off by the state budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.core.congruence import NormalForm, canonical
+from repro.core.semantics import SemanticsMode, StepLabel, enumerate_steps
+from repro.core.system import System
+
+__all__ = [
+    "Transition",
+    "LTS",
+    "explore",
+    "reachable_systems",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """An edge of the LTS: ``source --label--> target`` (state indices)."""
+
+    source: int
+    label: StepLabel
+    target: int
+
+
+@dataclass(slots=True)
+class LTS:
+    """The explored labelled transition system.
+
+    ``states[i]`` is a representative system for state ``i`` (state 0 is
+    the initial system); ``transitions`` the edge list; ``complete`` is
+    False when exploration stopped at the state budget, in which case the
+    frontier states have unexplored successors.
+    """
+
+    states: list[System] = field(default_factory=list)
+    transitions: list[Transition] = field(default_factory=list)
+    complete: bool = True
+
+    @property
+    def initial(self) -> System:
+        return self.states[0]
+
+    def successors(self, state: int) -> Iterator[Transition]:
+        for transition in self.transitions:
+            if transition.source == state:
+                yield transition
+
+    def terminal_states(self) -> list[int]:
+        """States with no outgoing transitions (quiescent systems)."""
+
+        sources = {t.source for t in self.transitions}
+        return [i for i in range(len(self.states)) if i not in sources]
+
+    def find(self, predicate: Callable[[System], bool]) -> Optional[int]:
+        """Index of the first reachable state satisfying ``predicate``."""
+
+        for index, state in enumerate(self.states):
+            if predicate(state):
+                return index
+        return None
+
+    def check_invariant(
+        self, invariant: Callable[[System], bool]
+    ) -> Optional[System]:
+        """Return a reachable counterexample state, or ``None`` if safe."""
+
+        for state in self.states:
+            if not invariant(state):
+                return state
+        return None
+
+    def path_to(self, state: int) -> list[Transition]:
+        """One shortest transition path from the initial state to ``state``.
+
+        States are discovered by BFS, so walking parents backwards yields a
+        shortest path.
+        """
+
+        parents: dict[int, Transition] = {}
+        for transition in self.transitions:
+            if transition.target not in parents and transition.target != 0:
+                parents.setdefault(transition.target, transition)
+        path: list[Transition] = []
+        current = state
+        while current != 0:
+            if current not in parents:
+                raise ValueError(f"state {state} unreachable in recorded edges")
+            edge = parents[current]
+            path.append(edge)
+            current = edge.source
+        path.reverse()
+        return path
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def explore(
+    system: System,
+    *,
+    mode: SemanticsMode = SemanticsMode.TRACKED,
+    max_states: int = 20_000,
+) -> LTS:
+    """Breadth-first exploration of the reachable state space."""
+
+    lts = LTS()
+    index_of: dict[NormalForm, int] = {}
+
+    def intern(s: System) -> int:
+        key = canonical(s)
+        existing = index_of.get(key)
+        if existing is not None:
+            return existing
+        index = len(lts.states)
+        index_of[key] = index
+        lts.states.append(s)
+        return index
+
+    initial = intern(system)
+    frontier = [initial]
+    explored: set[int] = set()
+    while frontier:
+        state = frontier.pop(0)
+        if state in explored:
+            continue
+        explored.add(state)
+        for step in enumerate_steps(lts.states[state], mode):
+            if len(lts.states) >= max_states:
+                lts.complete = False
+                return lts
+            target = intern(step.target)
+            lts.transitions.append(Transition(state, step.label, target))
+            if target not in explored:
+                frontier.append(target)
+    return lts
+
+
+def reachable_systems(
+    system: System,
+    *,
+    mode: SemanticsMode = SemanticsMode.TRACKED,
+    max_states: int = 20_000,
+) -> Iterator[System]:
+    """Iterate representative systems of every reachable state."""
+
+    yield from explore(system, mode=mode, max_states=max_states).states

@@ -1,0 +1,191 @@
+"""Provenance sequences and events (Table 1 of the paper).
+
+A provenance ``κ`` is a sequence of *events*, chronologically ordered with
+the **most recent event first** (the head of the sequence).  An event is
+either
+
+* an output event ``a!κ`` — the value was *sent* by principal ``a`` on a
+  channel whose provenance was ``κ`` at the time of sending, or
+* an input event ``a?κ`` — the value was *received* by principal ``a`` on a
+  channel whose provenance was ``κ``.
+
+Note the recursion: because channels are data, the channel used for a
+communication has a provenance of its own, and that whole sequence is
+embedded inside the event.  A provenance is therefore a tree of events, and
+all sizes reported by this module distinguish the *spine* length (number of
+top-level events, :meth:`Provenance.__len__`) from the *total* event count
+including nested channel provenances (:meth:`Provenance.total_events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.names import Principal
+
+__all__ = [
+    "Event",
+    "OutputEvent",
+    "InputEvent",
+    "Provenance",
+    "EMPTY",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class of provenance events; use the concrete subclasses."""
+
+    principal: Principal
+    channel_provenance: "Provenance"
+
+    @property
+    def symbol(self) -> str:
+        raise NotImplementedError
+
+    def principals(self) -> frozenset[Principal]:
+        """All principals mentioned by this event, including nested ones."""
+
+        return self.channel_provenance.principals() | {self.principal}
+
+    def total_events(self) -> int:
+        """1 plus the number of events nested in the channel provenance."""
+
+        return 1 + self.channel_provenance.total_events()
+
+    def depth(self) -> int:
+        """Nesting depth contributed by this event (at least 1)."""
+
+        return 1 + self.channel_provenance.depth()
+
+    def __str__(self) -> str:
+        inner = (
+            "" if self.channel_provenance.is_empty
+            else str(self.channel_provenance)
+        )
+        return f"{self.principal}{self.symbol}{{{inner}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class OutputEvent(Event):
+    """``a!κ`` — sent by ``a`` on a channel with provenance ``κ``."""
+
+    @property
+    def symbol(self) -> str:
+        return "!"
+
+
+@dataclass(frozen=True, slots=True)
+class InputEvent(Event):
+    """``a?κ`` — received by ``a`` on a channel with provenance ``κ``."""
+
+    @property
+    def symbol(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """An immutable provenance sequence ``κ`` (most recent event first).
+
+    Provenance values are shared liberally between systems produced by
+    successive reduction steps, so the representation is a plain tuple and
+    every operation returns a new object.
+    """
+
+    events: tuple[Event, ...] = field(default=())
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def of(*events: Event) -> "Provenance":
+        """Build a provenance from events given most-recent-first."""
+
+        return Provenance(tuple(events))
+
+    @staticmethod
+    def from_iterable(events: Iterable[Event]) -> "Provenance":
+        return Provenance(tuple(events))
+
+    def cons(self, event: Event) -> "Provenance":
+        """Prepend ``event`` as the new most-recent event (``e; κ``)."""
+
+        return Provenance((event,) + self.events)
+
+    def concat(self, other: "Provenance") -> "Provenance":
+        """Sequence composition ``κ; κ'`` — ``self`` is more recent."""
+
+        return Provenance(self.events + other.events)
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the nil provenance ``ε``."""
+
+        return not self.events
+
+    @property
+    def head(self) -> Event:
+        """The most recent event; raises IndexError on ``ε``."""
+
+        return self.events[0]
+
+    @property
+    def tail(self) -> "Provenance":
+        """Everything but the most recent event."""
+
+        return Provenance(self.events[1:])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def principals(self) -> frozenset[Principal]:
+        """Every principal mentioned anywhere in the sequence.
+
+        This is the set the auditing example of the paper extracts: the
+        principals "involved" in bringing a value to its current state.
+        """
+
+        result: frozenset[Principal] = frozenset()
+        for event in self.events:
+            result |= event.principals()
+        return result
+
+    def total_events(self) -> int:
+        """Total number of events including nested channel provenances."""
+
+        return sum(event.total_events() for event in self.events)
+
+    def depth(self) -> int:
+        """Maximum nesting depth of channel provenances (0 for ``ε``)."""
+
+        if not self.events:
+            return 0
+        return max(event.depth() for event in self.events)
+
+    def suffixes(self) -> Iterator["Provenance"]:
+        """All suffixes, longest (self) first, ending with ``ε``.
+
+        Useful to matchers: position ``i`` of the spine corresponds to the
+        suffix ``κ_i; …; κ_n``.
+        """
+
+        for i in range(len(self.events) + 1):
+            yield Provenance(self.events[i:])
+
+    def __str__(self) -> str:
+        if not self.events:
+            return "ε"
+        return "; ".join(str(event) for event in self.events)
+
+
+EMPTY = Provenance()
+"""The nil provenance ``ε`` — the annotation of freshly created data."""

@@ -1,0 +1,417 @@
+"""The provenance-tracking reduction semantics (Table 2).
+
+Communication is split into *two* reductions, each touching the provenance
+of the transmitted values exactly once:
+
+* **R-Send** — ``a[m:κm⟨v:κv⟩]  →  m⟨⟨v : a!κm; κv⟩⟩`` : the sender's view
+  of the channel (``κm``) is folded into the payload as an output event;
+* **R-Recv** — ``a[Σᵢ m:κm(πᵢ as xᵢ).Pᵢ] ‖ m⟨⟨v:κv⟩⟩ → a[Pⱼ{v:a?κm;κv/xⱼ}]``
+  provided ``κv ⊨ πⱼ`` : the message's provenance is vetted against the
+  branch pattern *before* consumption and then extended with an input
+  event.
+
+plus **R-IFt/R-IFf** (plain-value equality, provenance ignored) and the
+usual closure under restriction, composition and structural congruence.
+
+:func:`enumerate_steps` returns *every* redex of a system up to structural
+congruence, as :class:`ReductionStep` objects carrying a descriptive label
+(consumed by the monitored semantics to build global logs) and the
+precomputed target system.  Replication is unfolded lazily: because every
+rule of this calculus involves at most one located thread (communication is
+mediated by message terms, never a two-party synchronization), exposing a
+single copy of each replication per enumeration suffices to surface every
+enabled redex.
+
+Two modes are supported (:class:`SemanticsMode`): ``TRACKED`` is the
+paper's semantics; ``ERASED`` is the plain asynchronous pi-calculus
+baseline — no provenance updates, no vetting — used by the overhead
+ablations (experiment E2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.core.congruence import NormalForm, all_system_names, normalize, to_system
+from repro.core.errors import OpenTermError, ReductionError
+from repro.core.names import Channel, NameSupply, Principal
+from repro.core.process import InputSum, Match, Output, Process, Replication
+from repro.core.provenance import InputEvent, OutputEvent
+from repro.core.substitution import substitute
+from repro.core.system import Located, Message, SysParallel, SysRestriction, System
+from repro.core.values import AnnotatedValue, PlainValue
+
+__all__ = [
+    "SemanticsMode",
+    "StepLabel",
+    "SendLabel",
+    "ReceiveLabel",
+    "MatchLabel",
+    "ReductionStep",
+    "enumerate_steps",
+    "MAX_REPLICATION_DEPTH",
+]
+
+MAX_REPLICATION_DEPTH = 8
+"""Unfolding depth bound for towers of replications (``∗∗P`` …).
+
+A replication whose body is again a replication needs nested unfolding to
+expose redexes; the bound prevents divergence on degenerate towers.  Depth
+8 is far beyond anything a meaningful program needs (each level must
+contribute an actual prefix to matter).
+"""
+
+
+class SemanticsMode(enum.Enum):
+    """Which semantics the engine applies."""
+
+    TRACKED = "tracked"
+    ERASED = "erased"
+
+
+class StepLabel:
+    """Base class for reduction-step labels."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SendLabel(StepLabel):
+    """R-Send fired: ``principal`` sent ``values`` on ``channel``.
+
+    ``values`` are the *plain* parts — exactly what the monitored
+    semantics' action ``a.snd(m, v)`` records.
+    """
+
+    principal: Principal
+    channel: Channel
+    values: tuple[PlainValue, ...]
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.principal}.snd({self.channel}, {vals})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiveLabel(StepLabel):
+    """R-Recv fired: ``principal`` received ``values`` on ``channel``.
+
+    ``branch_index`` identifies which summand's pattern admitted the
+    message (useful to tests and to the static-analysis comparison).
+    """
+
+    principal: Principal
+    channel: Channel
+    values: tuple[PlainValue, ...]
+    branch_index: int
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.principal}.rcv({self.channel}, {vals})"
+
+
+@dataclass(frozen=True, slots=True)
+class MatchLabel(StepLabel):
+    """R-IFt / R-IFf fired with the given plain operands."""
+
+    principal: Principal
+    left: PlainValue
+    right: PlainValue
+    result: bool
+
+    def __str__(self) -> str:
+        op = "ift" if self.result else "iff"
+        return f"{self.principal}.{op}({self.left}, {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionStep:
+    """One redex: its label and the system it produces.
+
+    ``from_replication`` marks steps whose thread was exposed by unfolding
+    a replication; fair strategies use it to avoid starving ordinary
+    threads behind an always-enabled replicated sender.
+    """
+
+    label: StepLabel
+    target: System
+    from_replication: bool = False
+
+    def __str__(self) -> str:
+        return f"--{self.label}--> {self.target}"
+
+
+# ---------------------------------------------------------------------------
+# Redex enumeration
+# ---------------------------------------------------------------------------
+
+# A thread entry pairs an enabled located thread with a builder that, given
+# the systems replacing it, reconstructs the full component list (including
+# any residue of materialized replication copies) plus extra restrictions.
+_Builder = Callable[[list[System]], tuple[list[System], list[Channel]]]
+
+
+def enumerate_steps(
+    system: System,
+    mode: SemanticsMode = SemanticsMode.TRACKED,
+) -> list[ReductionStep]:
+    """All reductions of ``system`` (up to structural congruence).
+
+    Raises :class:`OpenTermError` if the system has free variables — the
+    reduction relation is defined on closed systems only.
+    """
+
+    from repro.core.system import system_free_variables
+
+    free = system_free_variables(system)
+    if free:
+        raise OpenTermError(free, "enumerate_steps")
+
+    supply = NameSupply(all_system_names(system))
+    nf = normalize(system, supply)
+    components = list(nf.components)
+    steps: list[ReductionStep] = []
+
+    messages = [
+        (index, component)
+        for index, component in enumerate(components)
+        if isinstance(component, Message)
+    ]
+
+    for principal, thread, build, replicated in _thread_entries(components, supply):
+        if isinstance(thread, Output):
+            step = _send_step(principal, thread, build, nf, mode, replicated)
+            if step is not None:
+                steps.append(step)
+        elif isinstance(thread, InputSum):
+            steps.extend(
+                _receive_steps(
+                    principal, thread, build, nf, messages, mode, supply, replicated
+                )
+            )
+        elif isinstance(thread, Match):
+            steps.append(_match_step(principal, thread, build, nf, replicated))
+    return steps
+
+
+def _thread_entries(
+    components: list[System], supply: NameSupply
+) -> Iterator[tuple[Principal, Process, _Builder, bool]]:
+    """Enabled threads, including one materialized copy per replication."""
+
+    for index, component in enumerate(components):
+        if not isinstance(component, Located):
+            continue
+
+        def build(
+            effects: list[System], *, _index: int = index
+        ) -> tuple[list[System], list[Channel]]:
+            return (
+                components[:_index] + effects + components[_index + 1 :],
+                [],
+            )
+
+        yield from _expand_thread(
+            component.principal, component.process, build, supply, depth=0
+        )
+
+
+def _expand_thread(
+    principal: Principal,
+    thread: Process,
+    build: _Builder,
+    supply: NameSupply,
+    depth: int,
+) -> Iterator[tuple[Principal, Process, _Builder, bool]]:
+    if isinstance(thread, (Output, InputSum, Match)):
+        yield principal, thread, build, depth > 0
+        return
+    if not isinstance(thread, Replication):
+        raise ReductionError(f"unexpected thread shape: {thread!r}")
+    if depth >= MAX_REPLICATION_DEPTH:
+        return
+
+    # Materialize one copy: ∗P ≡ P | ∗P.  The copy's restrictions always
+    # get fresh names (``taken=None``) — every unfolding owns private
+    # instances; its threads become individually enabled, and firing any
+    # of them keeps both the replication and the copy's other threads.
+    copy_restricted: list[Channel] = []
+    copy_components: list[System] = []
+    from repro.core.congruence import _flatten_process
+
+    _flatten_process(
+        principal, thread.body, supply, copy_restricted, copy_components, None
+    )
+
+    for position, copy_component in enumerate(copy_components):
+        assert isinstance(copy_component, Located)
+        siblings = [
+            c for k, c in enumerate(copy_components) if k != position
+        ]
+        replication_residue = Located(principal, thread)
+
+        def build_copy(
+            effects: list[System],
+            *,
+            _siblings: list[System] = siblings,
+            _residue: System = replication_residue,
+            _restricted: list[Channel] = copy_restricted,
+        ) -> tuple[list[System], list[Channel]]:
+            inner, extra = build(effects + _siblings + [_residue])
+            return inner, extra + list(_restricted)
+
+        yield from _expand_thread(
+            copy_component.principal,
+            copy_component.process,
+            build_copy,
+            supply,
+            depth + 1,
+        )
+
+
+def _rebuild(
+    nf: NormalForm, components: Sequence[System], extra_restricted: Sequence[Channel]
+) -> System:
+    body: System
+    parts = tuple(components)
+    body = parts[0] if len(parts) == 1 else SysParallel(parts)
+    for binder in reversed(tuple(nf.restricted) + tuple(extra_restricted)):
+        body = SysRestriction(binder, body)
+    return body
+
+
+def _send_step(
+    principal: Principal,
+    output: Output,
+    build: _Builder,
+    nf: NormalForm,
+    mode: SemanticsMode,
+    replicated: bool = False,
+) -> ReductionStep | None:
+    channel_id = output.channel
+    if not isinstance(channel_id, AnnotatedValue):
+        raise OpenTermError({channel_id}, "send subject")
+    if not isinstance(channel_id.value, Channel):
+        # Sending on a principal name: no rule applies; the thread is stuck.
+        return None
+    for w in output.payload:
+        if not isinstance(w, AnnotatedValue):
+            raise OpenTermError({w}, "send object")
+
+    if mode is SemanticsMode.TRACKED:
+        event = OutputEvent(principal, channel_id.provenance)
+        payload = tuple(w.record(event) for w in output.payload)
+    else:
+        payload = tuple(output.payload)  # type: ignore[arg-type]
+    message = Message(channel_id.value, payload)
+    components, extra = build([message])
+    label = SendLabel(
+        principal, channel_id.value, tuple(w.value for w in output.payload)
+    )
+    return ReductionStep(label, _rebuild(nf, components, extra), replicated)
+
+
+def _receive_steps(
+    principal: Principal,
+    input_sum: InputSum,
+    build: _Builder,
+    nf: NormalForm,
+    messages: list[tuple[int, Message]],
+    mode: SemanticsMode,
+    supply: NameSupply,
+    replicated: bool = False,
+) -> Iterator[ReductionStep]:
+    channel_id = input_sum.channel
+    if not isinstance(channel_id, AnnotatedValue):
+        raise OpenTermError({channel_id}, "receive subject")
+    if not isinstance(channel_id.value, Channel):
+        return
+
+    for _, message in messages:
+        if message.channel != channel_id.value:
+            continue
+        for branch_index, branch in enumerate(input_sum.branches):
+            if branch.arity != message.arity:
+                continue
+            if mode is SemanticsMode.TRACKED:
+                admitted = all(
+                    pattern.matches(component.provenance)
+                    for pattern, component in zip(branch.patterns, message.payload)
+                )
+            else:
+                admitted = True
+            if not admitted:
+                continue
+
+            if mode is SemanticsMode.TRACKED:
+                event = InputEvent(principal, channel_id.provenance)
+                received = tuple(w.record(event) for w in message.payload)
+            else:
+                received = message.payload
+            mapping = dict(zip(branch.binders, received))
+            continuation = substitute(branch.continuation, mapping, supply)
+            components, extra = build([Located(principal, continuation)])
+            components = _remove_one(components, message)
+            label = ReceiveLabel(
+                principal,
+                channel_id.value,
+                tuple(w.value for w in message.payload),
+                branch_index,
+            )
+            yield ReductionStep(
+                label, _rebuild(nf, components, extra), replicated
+            )
+
+
+def _match_step(
+    principal: Principal,
+    match: Match,
+    build: _Builder,
+    nf: NormalForm,
+    replicated: bool = False,
+) -> ReductionStep:
+    if not isinstance(match.left, AnnotatedValue):
+        raise OpenTermError({match.left}, "match operand")
+    if not isinstance(match.right, AnnotatedValue):
+        raise OpenTermError({match.right}, "match operand")
+    # Only plain values are compared; provenance is ignored (R-IFt/R-IFf).
+    result = match.left.value == match.right.value
+    chosen = match.then_branch if result else match.else_branch
+    components, extra = build([Located(principal, chosen)])
+    label = MatchLabel(principal, match.left.value, match.right.value, result)
+    return ReductionStep(label, _rebuild(nf, components, extra), replicated)
+
+
+def _remove_one(components: list[System], message: Message) -> list[System]:
+    """Remove the consumed message (by identity, falling back to equality)."""
+
+    for index, component in enumerate(components):
+        if component is message:
+            return components[:index] + components[index + 1 :]
+    for index, component in enumerate(components):
+        if component == message:
+            return components[:index] + components[index + 1 :]
+    raise ReductionError(f"consumed message {message} not present")
+
+
+def reduces(system: System, mode: SemanticsMode = SemanticsMode.TRACKED) -> bool:
+    """True when the system has at least one redex."""
+
+    return bool(enumerate_steps(system, mode))
+
+
+def step_to(
+    system: System, mode: SemanticsMode = SemanticsMode.TRACKED
+) -> Iterator[System]:
+    """Iterate the successor systems of one reduction step."""
+
+    for step in enumerate_steps(system, mode):
+        yield step.target
+
+
+def normal_form_of(system: System) -> System:
+    """Structural-congruence normal form as a plain system (convenience)."""
+
+    return to_system(normalize(system))

@@ -1,0 +1,90 @@
+"""Annotated values and identifiers (Table 1).
+
+* an *annotated value* ``v : κ`` pairs a plain value (channel or principal)
+  with its provenance;
+* an *identifier* ``w`` is either an annotated value or a variable — the
+  syntactic category that may appear in subject/object positions of
+  processes before substitution closes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.names import Channel, PlainValue, Principal, Variable
+from repro.core.provenance import EMPTY, Provenance
+
+__all__ = [
+    "AnnotatedValue",
+    "Identifier",
+    "annotate",
+    "plain",
+    "is_channel_value",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedValue:
+    """An annotated value ``v : κ``.
+
+    The plain part is a channel or principal; the provenance records the
+    communication history of this particular *copy* of the value.  Copies
+    travel independently: two occurrences of the same plain value in a
+    system generally carry different provenances.
+    """
+
+    value: PlainValue
+    provenance: Provenance = field(default=EMPTY)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (Channel, Principal)):
+            raise TypeError(
+                f"annotated value must wrap a plain value, got {self.value!r}"
+            )
+
+    def with_provenance(self, provenance: Provenance) -> "AnnotatedValue":
+        """The same plain value under a different provenance."""
+
+        return AnnotatedValue(self.value, provenance)
+
+    def record(self, event) -> "AnnotatedValue":
+        """Prepend ``event`` to the provenance (the semantics' update)."""
+
+        return AnnotatedValue(self.value, self.provenance.cons(event))
+
+    def __str__(self) -> str:
+        if self.provenance.is_empty:
+            return str(self.value)
+        return f"{self.value}:{{{self.provenance}}}"
+
+
+Identifier = Union[AnnotatedValue, Variable]
+"""``w ∈ I = D ∪ X`` — an annotated value or a variable."""
+
+
+def annotate(value: PlainValue, provenance: Provenance = EMPTY) -> AnnotatedValue:
+    """Convenience constructor for ``v : κ`` (defaults to ``v : ε``)."""
+
+    return AnnotatedValue(value, provenance)
+
+
+def plain(identifier: Identifier) -> PlainValue:
+    """The plain part of a *closed* identifier.
+
+    Raises :class:`TypeError` when handed a variable: callers that operate
+    on closed systems (the reduction relation) should have substituted all
+    variables away before asking for plain parts.
+    """
+
+    if isinstance(identifier, AnnotatedValue):
+        return identifier.value
+    raise TypeError(f"identifier {identifier!r} is a variable, not a value")
+
+
+def is_channel_value(identifier: Identifier) -> bool:
+    """True when the identifier is an annotated value wrapping a channel."""
+
+    return isinstance(identifier, AnnotatedValue) and isinstance(
+        identifier.value, Channel
+    )

@@ -1,0 +1,18 @@
+"""Concrete syntax: lexer, parser and pretty-printer."""
+
+from repro.lang.lexer import Token, TokenStream, tokenize
+from repro.lang.parser import (
+    parse_identifier,
+    parse_process,
+    parse_provenance,
+    parse_system,
+)
+from repro.lang.pretty import (
+    pretty_identifier,
+    pretty_pattern,
+    pretty_process,
+    pretty_provenance,
+    pretty_system,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,180 @@
+"""Tokenizer for the concrete syntax of the calculus and its patterns.
+
+One lexer serves both the system/process grammar and the pattern grammar
+(patterns occur inside input prefixes, so they share a token stream).  The
+token vocabulary:
+
+====================  =======================================
+kind                  examples
+====================  =======================================
+``NAME``              ``m``, ``judge1``, ``x'``
+``keyword``           ``if then else new as any eps``
+punctuation           ``[ ] ( ) { } < > << >> | || + - * ! ?``
+                      ``; : , . =``
+``EOF``               end of input
+====================  =======================================
+
+Comments run from ``#`` to end of line.  ``<<``/``>>``/``||`` are matched
+greedily before ``<``/``>``/``|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+
+__all__ = ["Token", "TokenStream", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({"if", "then", "else", "new", "as", "any", "eps", "none"})
+
+_PUNCTUATION = [
+    "<<",
+    ">>",
+    "||",
+    "[",
+    "]",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    "|",
+    "+",
+    "-",
+    "*",
+    "!",
+    "?",
+    "~",
+    ";",
+    ":",
+    ",",
+    ".",
+    "=",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexeme with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on foreign bytes."""
+
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] in "_'"
+            ):
+                index += 1
+            text = source[start:index]
+            kind = text if text in KEYWORDS else "NAME"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            text = source[start:index]
+            tokens.append(Token("NUMBER", text, line, column))
+            column += index - start
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, index):
+                tokens.append(Token(punct, punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with lookahead and backtracking.
+
+    The parser combinators use :meth:`mark` / :meth:`reset` for the one
+    ambiguous corner of the grammar (group parentheses vs pattern
+    parentheses).
+    """
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def at(self, *kinds: str) -> bool:
+        """True when the current token's kind is one of ``kinds``."""
+
+        return self.current.kind in kinds
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {self.current.kind!r}"
+                f" ({self.current.text!r})",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Token | None:
+        """Consume and return the current token if it has ``kind``."""
+
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def mark(self) -> int:
+        return self._index
+
+    def reset(self, mark: int) -> None:
+        self._index = mark
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.line, self.current.column)

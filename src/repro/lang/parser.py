@@ -1,0 +1,333 @@
+"""Recursive-descent parser for the concrete syntax.
+
+The parser resolves the calculus' three name sorts contextually:
+
+* a name directly followed by ``[`` hosts a located process — it is a
+  **principal** (a pre-scan collects these before parsing, so forward
+  references work); extra principal names can be supplied via the
+  ``principals`` argument for data-only principals (e.g. a value ``d``
+  sent in a payload when ``d`` never hosts a process);
+* a name bound by an enclosing input binder is a **variable**;
+* every other name in identifier position is a **channel**.
+
+Provenance annotations (``v:{a!{}}``) always force the value reading.
+
+Patterns inside input prefixes use the sample language of Table 3
+(:mod:`repro.patterns.parse`); the calculus itself remains parametric in
+the pattern language, but the concrete syntax commits to the paper's
+sample language.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import ParseError
+from repro.core.names import Channel, Principal, Variable
+from repro.core.patterns import Pattern
+from repro.core.process import (
+    Inaction,
+    InputBranch,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.provenance import (
+    EMPTY,
+    Event,
+    InputEvent,
+    OutputEvent,
+    Provenance,
+)
+from repro.core.system import Located, Message, SysParallel, SysRestriction, System
+from repro.core.values import AnnotatedValue, Identifier
+from repro.lang.lexer import Token, TokenStream, tokenize
+from repro.patterns.ast import AnyPattern
+from repro.patterns.parse import parse_pattern_stream
+
+__all__ = ["parse_system", "parse_process", "parse_provenance", "parse_identifier"]
+
+
+def parse_system(source: str, principals: Iterable[str] = ()) -> System:
+    """Parse a complete system term."""
+
+    tokens = tokenize(source)
+    parser = _Parser(TokenStream(tokens), _scan_principals(tokens, principals))
+    system = parser.system()
+    parser.stream.expect("EOF")
+    return system
+
+
+def parse_process(source: str, principals: Iterable[str] = ()) -> Process:
+    """Parse a complete process term."""
+
+    tokens = tokenize(source)
+    parser = _Parser(TokenStream(tokens), set(principals))
+    process = parser.process()
+    parser.stream.expect("EOF")
+    return process
+
+
+def parse_provenance(source: str) -> Provenance:
+    """Parse a braced provenance literal, e.g. ``{c?{}; s!{}}``."""
+
+    tokens = tokenize(source)
+    parser = _Parser(TokenStream(tokens), set())
+    provenance = parser.provenance()
+    parser.stream.expect("EOF")
+    return provenance
+
+
+def parse_identifier(source: str, principals: Iterable[str] = ()) -> Identifier:
+    """Parse a standalone identifier (value, annotated value or variable).
+
+    Free bare names parse as channels unless listed in ``principals``.
+    """
+
+    tokens = tokenize(source)
+    parser = _Parser(TokenStream(tokens), set(principals))
+    identifier = parser.identifier()
+    parser.stream.expect("EOF")
+    return identifier
+
+
+def _scan_principals(tokens: list[Token], extra: Iterable[str]) -> set[str]:
+    """Names immediately followed by ``[`` host located processes."""
+
+    principals = set(extra)
+    for index in range(len(tokens) - 1):
+        if tokens[index].kind == "NAME" and tokens[index + 1].kind == "[":
+            principals.add(tokens[index].text)
+    return principals
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream, principals: set[str]) -> None:
+        self.stream = stream
+        self.principals = principals
+        self._bound: list[str] = []
+
+    # -- systems ---------------------------------------------------------
+
+    def system(self) -> System:
+        parts = [self.sysatom()]
+        while self.stream.accept("||"):
+            parts.append(self.sysatom())
+        if len(parts) == 1:
+            return parts[0]
+        return SysParallel(tuple(parts))
+
+    def sysatom(self) -> System:
+        stream = self.stream
+        if stream.at("("):
+            if stream.peek(1).kind == "new":
+                stream.expect("(")
+                stream.expect("new")
+                name = stream.expect("NAME").text
+                stream.expect(")")
+                body = self.sysatom()
+                return SysRestriction(Channel(name), body)
+            stream.expect("(")
+            system = self.system()
+            stream.expect(")")
+            return system
+        if stream.at("NUMBER") and stream.current.text == "0":
+            stream.advance()
+            return SysParallel(())
+        if stream.at("NAME"):
+            if stream.peek(1).kind == "[":
+                name = stream.advance().text
+                self.principals.add(name)
+                stream.expect("[")
+                process = self.process()
+                stream.expect("]")
+                return Located(Principal(name), process)
+            if stream.peek(1).kind == "<<":
+                name = stream.advance().text
+                stream.expect("<<")
+                payload = self._value_list(">>")
+                stream.expect(">>")
+                return Message(Channel(name), tuple(payload))
+        raise stream.error(
+            f"expected a system, found {stream.current.kind!r}"
+        )
+
+    def _value_list(self, closer: str) -> list[AnnotatedValue]:
+        values: list[AnnotatedValue] = []
+        if self.stream.at(closer):
+            return values
+        while True:
+            identifier = self.identifier()
+            if not isinstance(identifier, AnnotatedValue):
+                raise self.stream.error(
+                    f"message payloads must be values, found variable"
+                    f" {identifier}"
+                )
+            values.append(identifier)
+            if not self.stream.accept(","):
+                return values
+
+    # -- processes ---------------------------------------------------------
+
+    def process(self) -> Process:
+        parts = [self.sumterm()]
+        while self.stream.accept("|"):
+            parts.append(self.sumterm())
+        if len(parts) == 1:
+            return parts[0]
+        return Parallel(tuple(parts))
+
+    def sumterm(self) -> Process:
+        first = self.patom()
+        if not self.stream.at("+"):
+            return first
+        summands = [self._as_single_sum(first)]
+        while self.stream.accept("+"):
+            summands.append(self._as_single_sum(self.patom()))
+        channel = summands[0].channel
+        for other in summands[1:]:
+            if other.channel != channel:
+                raise self.stream.error(
+                    "input-guarded sums must share one channel "
+                    f"({other.channel} vs {channel})"
+                )
+        branches = tuple(
+            branch for summand in summands for branch in summand.branches
+        )
+        return InputSum(channel, branches)
+
+    def _as_single_sum(self, process: Process) -> InputSum:
+        if isinstance(process, InputSum):
+            return process
+        raise self.stream.error("only input prefixes may be summed with '+'")
+
+    def patom(self) -> Process:
+        stream = self.stream
+        if stream.at("("):
+            if stream.peek(1).kind == "new":
+                stream.expect("(")
+                stream.expect("new")
+                name = stream.expect("NAME").text
+                stream.expect(")")
+                return Restriction(Channel(name), self.patom())
+            stream.expect("(")
+            process = self.process()
+            stream.expect(")")
+            return process
+        if stream.accept("*"):
+            return Replication(self.patom())
+        if stream.at("NUMBER") and stream.current.text == "0":
+            stream.advance()
+            return Inaction()
+        if stream.at("if"):
+            return self._match()
+        if stream.at("NAME"):
+            subject = self.identifier()
+            if stream.accept("<"):
+                payload: list[Identifier] = []
+                if not stream.at(">"):
+                    while True:
+                        payload.append(self.identifier())
+                        if not stream.accept(","):
+                            break
+                stream.expect(">")
+                return Output(subject, tuple(payload))
+            if stream.at("("):
+                branch = self._input_branch()
+                return InputSum(subject, (branch,))
+            raise stream.error(
+                "expected '<' (output) or '(' (input) after channel"
+            )
+        raise stream.error(f"expected a process, found {stream.current.kind!r}")
+
+    def _match(self) -> Process:
+        stream = self.stream
+        stream.expect("if")
+        left = self.identifier()
+        stream.expect("=")
+        right = self.identifier()
+        stream.expect("then")
+        then_branch = self.patom()
+        stream.expect("else")
+        else_branch = self.patom()
+        return Match(left, right, then_branch, else_branch)
+
+    def _input_branch(self) -> InputBranch:
+        stream = self.stream
+        stream.expect("(")
+        patterns: list[Pattern] = []
+        binders: list[Variable] = []
+        if not stream.at(")"):
+            while True:
+                pattern, binder = self._binding()
+                patterns.append(pattern)
+                binders.append(binder)
+                if not stream.accept(","):
+                    break
+        stream.expect(")")
+        stream.expect(".")
+        self._bound.extend(binder.name for binder in binders)
+        try:
+            continuation = self.patom()
+        finally:
+            del self._bound[len(self._bound) - len(binders) :]
+        return InputBranch(tuple(patterns), tuple(binders), continuation)
+
+    def _binding(self) -> tuple[Pattern, Variable]:
+        stream = self.stream
+        mark = stream.mark()
+        try:
+            pattern = parse_pattern_stream(stream)
+            if stream.accept("as"):
+                name = stream.expect("NAME").text
+                return pattern, Variable(name)
+        except ParseError:
+            pass
+        stream.reset(mark)
+        name = stream.expect("NAME").text
+        return AnyPattern(), Variable(name)
+
+    # -- identifiers and provenance ---------------------------------------
+
+    def identifier(self) -> Identifier:
+        stream = self.stream
+        name = stream.expect("NAME").text
+        if stream.at(":"):
+            stream.expect(":")
+            provenance = self.provenance()
+            return AnnotatedValue(self._plain(name), provenance)
+        if name in self._bound:
+            return Variable(name)
+        return AnnotatedValue(self._plain(name), EMPTY)
+
+    def _plain(self, name: str):
+        if name in self.principals:
+            return Principal(name)
+        return Channel(name)
+
+    def provenance(self) -> Provenance:
+        stream = self.stream
+        stream.expect("{")
+        events: list[Event] = []
+        if not stream.at("}"):
+            while True:
+                events.append(self._event())
+                if not stream.accept(";"):
+                    break
+        stream.expect("}")
+        return Provenance(tuple(events))
+
+    def _event(self) -> Event:
+        stream = self.stream
+        name = stream.expect("NAME").text
+        principal = Principal(name)
+        self.principals.add(name)
+        if stream.accept("!"):
+            return OutputEvent(principal, self.provenance())
+        if stream.accept("?"):
+            return InputEvent(principal, self.provenance())
+        raise stream.error("expected '!' or '?' in provenance event")

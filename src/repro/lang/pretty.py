@@ -1,0 +1,141 @@
+"""Pretty-printer for the concrete syntax.
+
+Emits text that :mod:`repro.lang.parser` parses back to an equal AST (the
+round-trip property is part of the test-suite).  The printer is total on
+well-formed terms and deterministic; it is the canonical serialization —
+the ``__str__`` methods on AST nodes are looser, human-oriented variants
+(e.g. they render the empty provenance as ``ε``).
+
+Syntax summary::
+
+    system      a[P]   m<<v1, v2>>   (new n)(S)   S || T   0
+    process     m<v>   m(pi as x).P   (m(..).P + m(..).Q)
+                if w = w' then P else Q   (new n)(P)   (P | Q)   *(P)   0
+    value       v          (empty provenance)
+                v:{a!{}; b?{a!{}}}
+    pattern     any   eps   c!any;any   (p|q)   (p)*   (~-o)?any
+"""
+
+from __future__ import annotations
+
+from repro.core.names import Variable
+from repro.core.patterns import Pattern
+from repro.core.process import (
+    Inaction,
+    InputBranch,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.provenance import Event, Provenance
+from repro.core.system import Located, Message, SysParallel, SysRestriction, System
+from repro.core.values import AnnotatedValue, Identifier
+
+__all__ = [
+    "pretty_provenance",
+    "pretty_identifier",
+    "pretty_pattern",
+    "pretty_process",
+    "pretty_system",
+]
+
+
+def pretty_provenance(provenance: Provenance) -> str:
+    """``{a!{}; b?{a!{}}}`` — always braced, empty provenance is ``{}``."""
+
+    inner = "; ".join(_pretty_event(event) for event in provenance.events)
+    return "{" + inner + "}"
+
+
+def _pretty_event(event: Event) -> str:
+    return (
+        f"{event.principal.name}{event.symbol}"
+        f"{pretty_provenance(event.channel_provenance)}"
+    )
+
+
+def pretty_identifier(identifier: Identifier) -> str:
+    """A variable name, a bare value, or ``value:{…}``."""
+
+    if isinstance(identifier, Variable):
+        return identifier.name
+    if identifier.provenance.is_empty:
+        return identifier.value.name
+    return f"{identifier.value.name}:{pretty_provenance(identifier.provenance)}"
+
+
+def pretty_pattern(pattern: Pattern) -> str:
+    """Sample patterns print through their ``__str__`` (already parseable)."""
+
+    return str(pattern)
+
+
+def pretty_process(process: Process) -> str:
+    """Emit a process in parser-atom form (safe in any process position)."""
+
+    if isinstance(process, Output):
+        payload = ", ".join(pretty_identifier(w) for w in process.payload)
+        return f"{pretty_identifier(process.channel)}<{payload}>"
+    if isinstance(process, InputSum):
+        prefixes = [
+            _pretty_prefix(process.channel, branch) for branch in process.branches
+        ]
+        if len(prefixes) == 1:
+            return prefixes[0]
+        return "(" + " + ".join(prefixes) + ")"
+    if isinstance(process, Match):
+        return (
+            f"if {pretty_identifier(process.left)} = "
+            f"{pretty_identifier(process.right)} "
+            f"then {pretty_process(process.then_branch)} "
+            f"else {pretty_process(process.else_branch)}"
+        )
+    if isinstance(process, Restriction):
+        return f"(new {process.channel.name})({pretty_process(process.body)})"
+    if isinstance(process, Parallel):
+        if not process.parts:
+            return "0"
+        return "(" + " | ".join(pretty_process(p) for p in process.parts) + ")"
+    if isinstance(process, Replication):
+        return f"*({pretty_process(process.body)})"
+    if isinstance(process, Inaction):
+        return "0"
+    raise TypeError(f"not a process: {process!r}")
+
+
+def _pretty_prefix(channel: Identifier, branch: InputBranch) -> str:
+    bindings = ", ".join(
+        f"{pretty_pattern(pattern)} as {binder.name}"
+        for pattern, binder in zip(branch.patterns, branch.binders)
+    )
+    return (
+        f"{pretty_identifier(channel)}({bindings})"
+        f".{pretty_process(branch.continuation)}"
+    )
+
+
+def pretty_system(system: System) -> str:
+    """Emit a system in parser-compatible form."""
+
+    if isinstance(system, Located):
+        return f"{system.principal.name}[{pretty_process(system.process)}]"
+    if isinstance(system, Message):
+        payload = ", ".join(pretty_identifier(w) for w in system.payload)
+        return f"{system.channel.name}<<{payload}>>"
+    if isinstance(system, SysRestriction):
+        return f"(new {system.channel.name})({pretty_system(system.body)})"
+    if isinstance(system, SysParallel):
+        if not system.parts:
+            return "0"
+        return " || ".join(_pretty_sysatom(part) for part in system.parts)
+    raise TypeError(f"not a system: {system!r}")
+
+
+def _pretty_sysatom(system: System) -> str:
+    if isinstance(system, SysParallel):
+        return f"({pretty_system(system)})"
+    return pretty_system(system)

@@ -1,0 +1,21 @@
+"""Logs, their information order and the denotation of provenance (§3)."""
+
+from repro.logs.ast import (
+    Action,
+    ActionKind,
+    EMPTY_LOG,
+    Log,
+    LogAction,
+    LogEmpty,
+    LogPar,
+    LogTerm,
+    Unknown,
+    log_actions,
+    log_free_variables,
+    log_par,
+    log_size,
+)
+from repro.logs.denotation import FreshVariables, denote
+from repro.logs.order import freshen_log, information_equivalent, log_leq
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,208 @@
+"""Logs: records of the past behaviour of systems (§3.1).
+
+A log is an edge-labelled tree whose edges carry *actions*; an edge closer
+to the root happened more recently than the edges below it, and sibling
+subtrees are temporally independent (their relative order is unknown)::
+
+    φ ::= ∅  |  α; φ  |  φ | ψ
+    α ::= a.snd(V, V')  |  a.rcv(V, V')  |  a.ift(V, V')  |  a.iff(V, V')
+
+Action operands range over ``Dx = V ∪ X ∪ {?}``: plain values, variables
+standing for *unknown* values, and the special symbol ``?`` for an unknown
+private (restricted) channel name.  In ``a.snd(x, V); φ`` the variable
+``x`` in the channel position binds its occurrences in ``φ``; occurrences
+in value positions are free.
+
+We generalize actions to polyadic operand tuples (the calculus is
+polyadic): ``a.snd(V, V₁…Vₖ)`` records a send of a k-tuple.  The paper's
+monadic actions are the ``k = 1`` case.
+
+Logs are compared modulo alpha-conversion and the commutative-monoid laws
+of ``|`` — equality here is syntactic; the quotient is taken by the
+information order in :mod:`repro.logs.order`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.core.names import Channel, Principal, Variable
+
+__all__ = [
+    "Unknown",
+    "LogTerm",
+    "ActionKind",
+    "Action",
+    "Log",
+    "LogEmpty",
+    "LogAction",
+    "LogPar",
+    "EMPTY_LOG",
+    "log_par",
+    "log_actions",
+    "log_size",
+    "log_free_variables",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Unknown:
+    """The symbol ``?`` — an unknown private channel name."""
+
+    def __str__(self) -> str:
+        return "?"
+
+
+LogTerm = Union[Channel, Principal, Variable, Unknown]
+"""``U, V ∈ Dx = V ∪ X ∪ {?}``."""
+
+
+class ActionKind(enum.Enum):
+    """The four action constructors of §3.1."""
+
+    SND = "snd"
+    RCV = "rcv"
+    IFT = "ift"
+    IFF = "iff"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """``a.kind(operands…)``.
+
+    For ``snd``/``rcv`` the first operand is the channel (the binding
+    position) and the rest are the transmitted values; for ``ift``/``iff``
+    the two operands are the compared values.
+    """
+
+    kind: ActionKind
+    principal: Principal
+    operands: tuple[LogTerm, ...]
+
+    @property
+    def binding_variable(self) -> Variable | None:
+        """The channel-position variable bound by this action, if any."""
+
+        if self.kind in (ActionKind.SND, ActionKind.RCV) and self.operands:
+            first = self.operands[0]
+            if isinstance(first, Variable):
+                return first
+        return None
+
+    def free_variables(self) -> frozenset[Variable]:
+        """Variables in non-binding positions."""
+
+        result = frozenset(
+            term for term in self.operands if isinstance(term, Variable)
+        )
+        binder = self.binding_variable
+        if binder is not None:
+            result -= {binder}
+        return result
+
+    def __str__(self) -> str:
+        operands = ", ".join(str(term) for term in self.operands)
+        return f"{self.principal}.{self.kind.value}({operands})"
+
+
+class Log(abc.ABC):
+    """Base class of logs."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class LogEmpty(Log):
+    """``∅`` — the log that records nothing."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class LogAction(Log):
+    """``α; φ`` — action ``α`` happened after everything in ``φ``."""
+
+    action: Action
+    child: Log
+
+    def __str__(self) -> str:
+        if isinstance(self.child, LogEmpty):
+            return str(self.action)
+        return f"{self.action}; {self.child}"
+
+
+@dataclass(frozen=True, slots=True)
+class LogPar(Log):
+    """``φ | ψ`` — temporally independent records (n-ary)."""
+
+    children: tuple[Log, ...] = field(default=())
+
+    def __str__(self) -> str:
+        if not self.children:
+            return "0"
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+EMPTY_LOG = LogEmpty()
+
+
+def log_par(*logs: Log) -> Log:
+    """Smart composition: flatten nested ``|`` and drop ``∅`` units."""
+
+    flat: list[Log] = []
+    for log in logs:
+        if isinstance(log, LogEmpty):
+            continue
+        if isinstance(log, LogPar):
+            flat.extend(log.children)
+        else:
+            flat.append(log)
+    if not flat:
+        return EMPTY_LOG
+    if len(flat) == 1:
+        return flat[0]
+    return LogPar(tuple(flat))
+
+
+def log_actions(log: Log) -> Iterator[Action]:
+    """Every action in the log, root-to-leaf, left-to-right."""
+
+    if isinstance(log, LogEmpty):
+        return
+    elif isinstance(log, LogAction):
+        yield log.action
+        yield from log_actions(log.child)
+    elif isinstance(log, LogPar):
+        for child in log.children:
+            yield from log_actions(child)
+    else:
+        raise TypeError(f"not a log: {log!r}")
+
+
+def log_size(log: Log) -> int:
+    """Number of actions recorded."""
+
+    return sum(1 for _ in log_actions(log))
+
+
+def log_free_variables(log: Log) -> frozenset[Variable]:
+    """Free variables of a log (``snd``/``rcv`` channel positions bind)."""
+
+    if isinstance(log, LogEmpty):
+        return frozenset()
+    if isinstance(log, LogAction):
+        below = log_free_variables(log.child)
+        binder = log.action.binding_variable
+        if binder is not None:
+            below -= {binder}
+        return below | log.action.free_variables()
+    if isinstance(log, LogPar):
+        result: frozenset[Variable] = frozenset()
+        for child in log.children:
+            result |= log_free_variables(child)
+        return result
+    raise TypeError(f"not a log: {log!r}")

@@ -1,0 +1,101 @@
+"""Denotation of provenance as logs (Definition 2).
+
+The provenance ``κ`` of an annotated value ``V : κ`` is interpreted as a
+set of assertions about the past of ``V``, encoded as a log::
+
+    ⟦V : ε⟧       =  ∅
+    ⟦V : a!κ'; κ⟧ =  a.snd(x, V); ( ⟦V : κ⟧ | ⟦x : κ'⟧ )
+    ⟦V : a?κ'; κ⟧ =  a.rcv(x, V); ( ⟦V : κ⟧ | ⟦x : κ'⟧ )
+
+where each ``x`` is fresh: the provenance does not reveal the identity of
+the channel used, so the denotation asserts only that *some* channel ``x``
+was used, and that ``x``'s own past satisfies ``⟦x : κ'⟧``.  The two
+branches of the composition are temporally independent — provenance does
+not order the channel's history against the value's earlier history.
+
+The denotation is deliberately *partial* information; the correctness
+criterion (Definition 3) asks that it be ⪯-below the global log, and the
+incompleteness result (Proposition 3) shows the converse fails.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterator
+
+from repro.core.names import Variable
+from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.logs.ast import (
+    Action,
+    ActionKind,
+    EMPTY_LOG,
+    Log,
+    LogAction,
+    LogTerm,
+    log_par,
+)
+
+__all__ = ["denote", "FreshVariables"]
+
+
+class FreshVariables:
+    """A supply of fresh log variables ``_x0, _x1, …``.
+
+    Denotation variables live in their own namespace (underscore-prefixed)
+    so they can never collide with variables originating in process terms.
+    """
+
+    def __init__(self, prefix: str = "_x") -> None:
+        self._prefix = prefix
+        self._counter = count()
+
+    def fresh(self) -> Variable:
+        return Variable(f"{self._prefix}{next(self._counter)}")
+
+
+def denote(
+    value: LogTerm,
+    provenance: Provenance,
+    fresh: FreshVariables | None = None,
+) -> Log:
+    """Compute ``⟦value : provenance⟧``.
+
+    ``value`` may be any log term: plain values for ordinary data, ``?``
+    for values whose plain part is a private (non-log-visible) channel,
+    and variables during recursive calls.
+    """
+
+    if fresh is None:
+        fresh = FreshVariables()
+    return _denote(value, tuple(provenance.events), fresh)
+
+
+def _denote(value: LogTerm, events: tuple[Event, ...], fresh: FreshVariables) -> Log:
+    if not events:
+        return EMPTY_LOG
+    head, rest = events[0], events[1:]
+    channel_variable = fresh.fresh()
+    if isinstance(head, OutputEvent):
+        kind = ActionKind.SND
+    elif isinstance(head, InputEvent):
+        kind = ActionKind.RCV
+    else:
+        raise TypeError(f"not an event: {head!r}")
+    action = Action(kind, head.principal, (channel_variable, value))
+    remainder = log_par(
+        _denote(value, rest, fresh),
+        _denote(channel_variable, tuple(head.channel_provenance.events), fresh),
+    )
+    return LogAction(action, remainder)
+
+
+def denote_all(
+    pairs: Iterator[tuple[LogTerm, Provenance]],
+    fresh: FreshVariables | None = None,
+) -> Iterator[Log]:
+    """Denote a stream of annotated values, sharing one fresh supply."""
+
+    if fresh is None:
+        fresh = FreshVariables()
+    for value, provenance in pairs:
+        yield denote(value, provenance, fresh)

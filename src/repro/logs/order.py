@@ -1,0 +1,237 @@
+"""The information order ``⪯`` on logs (§3.1) and its decision procedure.
+
+``φ ⪯ ψ`` reads "ψ tells us at least as much about the past as φ".  The
+relation is the least one closed under:
+
+* **LEQ-Nil**    ``∅ ⪯ φ``
+* **LEQ-Pre1**   ``α; φ ⪯ α'; ψ``   if ``α ⋖ α'`` (``α' = ασ`` for some
+  substitution of values for variables) and ``φσ ⪯ ψσ'``
+* **LEQ-Pre2**   ``φ ⪯ α; ψ``       if ``φ ⪯ ψ`` (extra actions on the
+  right only add information)
+* **LEQ-Comp1**  ``φ | φ' ⪯ ψ``     if ``φ ⪯ ψ`` and ``φ' ⪯ ψ``
+  (nonlinear: both halves may reference the same recorded actions, because
+  the calculus copies values together with their provenance)
+* **LEQ-Comp2**  ``φ ⪯ ψ | ψ'``     if ``φ ⪯ ψ``
+
+Decision procedure
+------------------
+
+A backtracking tree-embedding search.  Both logs are alpha-freshened into
+disjoint variable namespaces; variables are then treated *existentially*
+(a variable stands for some unknown value — binding it during the search
+chooses that value), and ``?`` (unknown private channel) unifies with
+anything without binding.  An action-prefixed left log scans the right
+tree through LEQ-Pre2 skips and LEQ-Comp2 branch choices; left
+compositions decompose by LEQ-Comp1 with the substitution environment
+threaded through the children (they may share variables bound higher up).
+
+The relation is a partial order on the quotient of logs by mutual ``⪯``
+(Proposition 1): reflexivity and transitivity are checked by property
+tests; antisymmetry holds by construction on the quotient (note that, e.g.,
+``α | α`` and ``α`` are mutually related — the nonlinear LEQ-Comp1 makes
+duplicates informationless — so antisymmetry cannot hold syntactically).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterator, Mapping
+
+from repro.core.names import Variable
+from repro.logs.ast import (
+    Action,
+    Log,
+    LogAction,
+    LogEmpty,
+    LogPar,
+    LogTerm,
+    Unknown,
+)
+
+__all__ = ["log_leq", "information_equivalent", "freshen_log"]
+
+Env = dict[Variable, LogTerm]
+
+
+def log_leq(left: Log, right: Log) -> bool:
+    """Decide ``left ⪯ right`` (closed logs)."""
+
+    left = freshen_log(left, "_l")
+    right = freshen_log(right, "_r")
+    for _ in _search(left, right, {}, frozenset()):
+        return True
+    return False
+
+
+def information_equivalent(left: Log, right: Log) -> bool:
+    """Mutual ``⪯`` — the equivalence whose quotient ``⪯`` orders."""
+
+    return log_leq(left, right) and log_leq(right, left)
+
+
+# ---------------------------------------------------------------------------
+# Alpha-freshening
+# ---------------------------------------------------------------------------
+
+
+def freshen_log(log: Log, prefix: str) -> Log:
+    """Rename every bound variable to a fresh ``{prefix}{i}`` name.
+
+    Guarantees (a) no binder shadows another and (b) two logs freshened
+    with different prefixes share no variables — the invariants the search
+    relies on.  Free variables (absent from closed logs) are left alone.
+    """
+
+    counter = count()
+
+    def rename_term(term: LogTerm, env: Mapping[Variable, Variable]) -> LogTerm:
+        if isinstance(term, Variable):
+            return env.get(term, term)
+        return term
+
+    def walk(node: Log, env: dict[Variable, Variable]) -> Log:
+        if isinstance(node, LogEmpty):
+            return node
+        if isinstance(node, LogPar):
+            return LogPar(tuple(walk(child, env) for child in node.children))
+        if isinstance(node, LogAction):
+            action = node.action
+            binder = action.binding_variable
+            child_env = env
+            operands = list(action.operands)
+            if binder is not None:
+                fresh = Variable(f"{prefix}{next(counter)}")
+                child_env = dict(env)
+                child_env[binder] = fresh
+                operands[0] = fresh
+                operands[1:] = [
+                    rename_term(term, env) for term in operands[1:]
+                ]
+            else:
+                operands = [rename_term(term, env) for term in operands]
+            renamed = Action(action.kind, action.principal, tuple(operands))
+            return LogAction(renamed, walk(node.child, child_env))
+        raise TypeError(f"not a log: {node!r}")
+
+    return walk(log, {})
+
+
+# ---------------------------------------------------------------------------
+# Backtracking search
+# ---------------------------------------------------------------------------
+
+
+def _resolve(term: LogTerm, env: Env) -> LogTerm:
+    while isinstance(term, Variable) and term in env:
+        term = env[term]
+    return term
+
+
+# ``closable`` is the set of *right-side* variables whose binder has been
+# passed on the descent: the closing substitution σ' may instantiate them.
+# A right variable at its own binding occurrence is NOT closable — the
+# head-matching condition α' = ασ is syntactic on the right, so a ground
+# left operand can never match a right binder (ψ would be claiming less
+# information than φ there).
+Closable = frozenset
+
+
+def _unify_terms(
+    left: LogTerm, right: LogTerm, env: Env, closable: Closable
+) -> Env | None:
+    left = _resolve(left, env)
+    right = _resolve(right, env)
+    if isinstance(left, Unknown) or isinstance(right, Unknown):
+        # ``?`` asserts only "some private channel": it constrains nothing.
+        return env
+    if isinstance(left, Variable):
+        if left is right or left == right:
+            return env
+        # σ instantiates left variables (to values, or — up to alpha — to
+        # the right binder itself).
+        extended = dict(env)
+        extended[left] = right
+        return extended
+    if isinstance(right, Variable):
+        if right not in closable:
+            return None
+        extended = dict(env)
+        extended[right] = left
+        return extended
+    if left == right:
+        return env
+    return None
+
+
+def _unify_actions(
+    left: Action, right: Action, env: Env, closable: Closable
+) -> Env | None:
+    if left.kind is not right.kind:
+        return None
+    if left.principal != right.principal:
+        return None
+    if len(left.operands) != len(right.operands):
+        return None
+    for left_term, right_term in zip(left.operands, right.operands):
+        result = _unify_terms(left_term, right_term, env, closable)
+        if result is None:
+            return None
+        env = result
+    return env
+
+
+def _search(
+    left: Log, right: Log, env: Env, closable: Closable
+) -> Iterator[Env]:
+    """Yield every environment under which ``left ⪯ right`` derives."""
+
+    if isinstance(left, LogEmpty):
+        # LEQ-Nil
+        yield env
+        return
+    if isinstance(left, LogPar):
+        # LEQ-Comp1, n-ary: thread the environment through all children.
+        yield from _search_all(left.children, right, env, closable)
+        return
+    if isinstance(left, LogAction):
+        yield from _scan_right(left, right, env, closable)
+        return
+    raise TypeError(f"not a log: {left!r}")
+
+
+def _search_all(
+    children: tuple[Log, ...], right: Log, env: Env, closable: Closable
+) -> Iterator[Env]:
+    if not children:
+        yield env
+        return
+    head, rest = children[0], children[1:]
+    for next_env in _search(head, right, env, closable):
+        yield from _search_all(rest, right, next_env, closable)
+
+
+def _scan_right(
+    left: LogAction, right: Log, env: Env, closable: Closable
+) -> Iterator[Env]:
+    """Find the head action of ``left`` somewhere down the right tree."""
+
+    if isinstance(right, LogEmpty):
+        return
+    if isinstance(right, LogPar):
+        # LEQ-Comp2: commit to one branch for this left log.
+        for child in right.children:
+            yield from _scan_right(left, child, env, closable)
+        return
+    if isinstance(right, LogAction):
+        binder = right.action.binding_variable
+        freed = closable if binder is None else closable | {binder}
+        # LEQ-Pre1: match here (the right binder is closable only *below*
+        # this action, i.e. for the remainders)…
+        matched = _unify_actions(left.action, right.action, env, closable)
+        if matched is not None:
+            yield from _search(left.child, right.child, matched, freed)
+        # … or LEQ-Pre2: skip the right action and look deeper (its binder
+        # is freed for the subtree, closed by σ').
+        yield from _scan_right(left, right.child, env, freed)
+        return
+    raise TypeError(f"not a log: {right!r}")

@@ -1,0 +1,23 @@
+"""Monitored systems, global logs and the provenance meta-theory (§3.3–3.5)."""
+
+from repro.monitor.checker import (
+    CheckReport,
+    ValueCheck,
+    check_completeness,
+    check_correctness,
+    has_complete_provenance,
+    has_correct_provenance,
+    monitored_values,
+)
+from repro.monitor.monitored import (
+    MonitoredEngine,
+    MonitoredStep,
+    MonitoredSystem,
+    MonitoredTrace,
+    action_of_label,
+    actions_of_label,
+    erase,
+    monitored_steps,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,194 @@
+"""Correctness and completeness of provenance (Definitions 3 and 4).
+
+* ``values(M)`` — every annotated value occurring in the system part of
+  ``M``, with ``?`` substituted for channels bound by *inner* (guarded)
+  restrictions: those names are not visible to the global log, so the
+  assertions we can state about them cannot name them.  Channels hoisted
+  to the top level are log-visible and stay concrete.
+* **correct provenance** — ``⟦V : κ⟧ ⪯ log(M)`` for every value: whatever
+  a value's provenance asserts about the past really happened.  Theorem 1
+  (preservation of correctness under ``→m``) is verified property-style
+  over random systems in the test-suite, and its checking cost is the
+  subject of benchmark E11.
+* **complete provenance** — ``log(M) ⪯ ⟦V : κ⟧`` for every value: the
+  provenance records *everything* that happened.  Proposition 3 shows this
+  is not preserved by reduction; the checker exists to demonstrate the
+  counterexample and to let tests probe exactly where completeness dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.congruence import normalize
+from repro.core.names import Channel
+from repro.core.process import (
+    Inaction,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.provenance import Provenance
+from repro.core.system import Located, Message, System
+from repro.core.values import AnnotatedValue, Identifier
+from repro.logs.ast import Log, LogTerm, Unknown
+from repro.logs.denotation import FreshVariables, denote
+from repro.logs.order import log_leq
+from repro.monitor.monitored import MonitoredSystem
+
+__all__ = [
+    "monitored_values",
+    "ValueCheck",
+    "CheckReport",
+    "check_correctness",
+    "check_completeness",
+    "has_correct_provenance",
+    "has_complete_provenance",
+]
+
+
+def monitored_values(
+    monitored: MonitoredSystem,
+) -> list[tuple[LogTerm, Provenance]]:
+    """The paper's ``values(M)``: annotated values as log-term pairs.
+
+    Restricted channels still guarded inside process bodies become ``?``;
+    everything else keeps its concrete name.  The collection reaches under
+    prefixes (values in continuations count) and includes channel-subject
+    occurrences ``m : κm`` — the completeness counterexample depends on
+    them.
+    """
+
+    nf = normalize(monitored.system)
+    collected: list[tuple[LogTerm, Provenance]] = []
+    for component in nf.components:
+        if isinstance(component, Message):
+            for value in component.payload:
+                collected.append(_term_of(value, frozenset()))
+        elif isinstance(component, Located):
+            _collect_process(component.process, frozenset(), collected)
+    return collected
+
+
+def _term_of(
+    value: AnnotatedValue, bound: frozenset[Channel]
+) -> tuple[LogTerm, Provenance]:
+    if isinstance(value.value, Channel) and value.value in bound:
+        return Unknown(), value.provenance
+    return value.value, value.provenance
+
+
+def _collect_identifier(
+    identifier: Identifier,
+    bound: frozenset[Channel],
+    collected: list[tuple[LogTerm, Provenance]],
+) -> None:
+    if isinstance(identifier, AnnotatedValue):
+        collected.append(_term_of(identifier, bound))
+
+
+def _collect_process(
+    process: Process,
+    bound: frozenset[Channel],
+    collected: list[tuple[LogTerm, Provenance]],
+) -> None:
+    if isinstance(process, Output):
+        _collect_identifier(process.channel, bound, collected)
+        for w in process.payload:
+            _collect_identifier(w, bound, collected)
+    elif isinstance(process, InputSum):
+        _collect_identifier(process.channel, bound, collected)
+        for branch in process.branches:
+            _collect_process(branch.continuation, bound, collected)
+    elif isinstance(process, Match):
+        _collect_identifier(process.left, bound, collected)
+        _collect_identifier(process.right, bound, collected)
+        _collect_process(process.then_branch, bound, collected)
+        _collect_process(process.else_branch, bound, collected)
+    elif isinstance(process, Restriction):
+        _collect_process(process.body, bound | {process.channel}, collected)
+    elif isinstance(process, Parallel):
+        for part in process.parts:
+            _collect_process(part, bound, collected)
+    elif isinstance(process, Replication):
+        _collect_process(process.body, bound, collected)
+    elif isinstance(process, Inaction):
+        return
+    else:
+        raise TypeError(f"not a process: {process!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ValueCheck:
+    """The verdict for one annotated value."""
+
+    value: LogTerm
+    provenance: Provenance
+    denotation: Log
+    holds: bool
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.holds else "FAIL"
+        return f"[{verdict}] {self.value} : {self.provenance}"
+
+
+@dataclass(frozen=True, slots=True)
+class CheckReport:
+    """Outcome of checking every value of a monitored system."""
+
+    checks: tuple[ValueCheck, ...]
+
+    @property
+    def holds(self) -> bool:
+        return all(check.holds for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[ValueCheck, ...]:
+        return tuple(check for check in self.checks if not check.holds)
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def __iter__(self) -> Iterator[ValueCheck]:
+        return iter(self.checks)
+
+
+def check_correctness(monitored: MonitoredSystem) -> CheckReport:
+    """Definition 3: ``⟦V : κ⟧ ⪯ log(M)`` for every value of ``M``."""
+
+    fresh = FreshVariables()
+    checks = []
+    for value, provenance in monitored_values(monitored):
+        denotation = denote(value, provenance, fresh)
+        holds = log_leq(denotation, monitored.log)
+        checks.append(ValueCheck(value, provenance, denotation, holds))
+    return CheckReport(tuple(checks))
+
+
+def check_completeness(monitored: MonitoredSystem) -> CheckReport:
+    """Definition 4: ``log(M) ⪯ ⟦V : κ⟧`` for every value of ``M``."""
+
+    fresh = FreshVariables()
+    checks = []
+    for value, provenance in monitored_values(monitored):
+        denotation = denote(value, provenance, fresh)
+        holds = log_leq(monitored.log, denotation)
+        checks.append(ValueCheck(value, provenance, denotation, holds))
+    return CheckReport(tuple(checks))
+
+
+def has_correct_provenance(monitored: MonitoredSystem) -> bool:
+    """Convenience wrapper for Definition 3."""
+
+    return check_correctness(monitored).holds
+
+
+def has_complete_provenance(monitored: MonitoredSystem) -> bool:
+    """Convenience wrapper for Definition 4."""
+
+    return check_completeness(monitored).holds

@@ -1,0 +1,26 @@
+"""The sample pattern matching language of Table 3."""
+
+from repro.patterns.ast import (
+    Alternation,
+    AnyPattern,
+    Empty,
+    EventPattern,
+    Group,
+    GroupAll,
+    GroupDifference,
+    GroupSingle,
+    GroupUnion,
+    Repetition,
+    SamplePattern,
+    Sequence,
+    alt,
+    received_by,
+    sent_by,
+    seq,
+)
+from repro.patterns.language import SAMPLE_LANGUAGE, SamplePatternLanguage
+from repro.patterns.naive import naive_matches
+from repro.patterns.nfa import NFA, NFAMatcher, compile_pattern, default_matcher
+from repro.patterns.parse import parse_group, parse_pattern
+
+__all__ = [name for name in dir() if not name.startswith("_")]

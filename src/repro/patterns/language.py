@@ -1,0 +1,39 @@
+"""The sample pattern language packaged as a calculus parameter.
+
+Definition 1 of the paper makes the calculus parametric in a pattern
+matching language ``(Π, ⊨)``; this module bundles the Table 3 language —
+AST, parser and compiled matcher — into the
+:class:`~repro.core.patterns.PatternLanguage` interface so it can be handed
+to tools (the system parser, the static analysis) as *the* language in
+force.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import Pattern, PatternLanguage
+from repro.core.provenance import Provenance
+from repro.patterns.nfa import NFAMatcher, default_matcher
+from repro.patterns.parse import parse_pattern
+
+__all__ = ["SamplePatternLanguage", "SAMPLE_LANGUAGE"]
+
+
+class SamplePatternLanguage(PatternLanguage):
+    """The regex-like pattern language of Table 3."""
+
+    def __init__(self, matcher: NFAMatcher | None = None) -> None:
+        self._matcher = matcher or default_matcher()
+
+    def parse(self, text: str) -> Pattern:
+        return parse_pattern(text)
+
+    def matches(self, provenance: Provenance, pattern: Pattern) -> bool:
+        from repro.patterns.ast import SamplePattern
+
+        if isinstance(pattern, SamplePattern):
+            return self._matcher.matches(provenance, pattern)
+        return pattern.matches(provenance)
+
+
+SAMPLE_LANGUAGE = SamplePatternLanguage()
+"""Default language instance used by the concrete-syntax parser."""

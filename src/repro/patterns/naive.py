@@ -1,0 +1,87 @@
+"""Reference matcher: a literal transcription of Table 3's rules.
+
+Each inference rule of the satisfaction relation ``κ ⊨ π`` becomes one
+case of a recursive function; sequential composition and repetition try
+*every* split of the provenance, exactly as the declarative rules demand.
+The worst case is exponential — that is the point: this matcher is the
+executable specification against which the compiled NFA matcher
+(:mod:`repro.patterns.nfa`) is differentially tested (property tests) and
+benchmarked (experiment E3).
+
+Rules implemented:
+
+* S-Empty        ``ε ⊨ ε``
+* S-Send/S-Recv  ``a!κ ⊨ G!π`` when ``a ∈ ⟦G⟧`` and ``κ ⊨ π`` (dually ?)
+* S-Cat          ``κ;κ' ⊨ π;π'`` for some split
+* S-AltL/S-AltR  ``κ ⊨ π ∨ π'`` when either disjunct matches
+* S-Rep          ``κ₁;…;κₙ ⊨ π*`` when every chunk matches ``π``
+* S-Any          ``κ ⊨ Any``
+
+(The paper's table renders the alternation rules with a typo — ``κ ∨ κ'``
+on the left — but its prose is unambiguous: alternation is on *patterns*.)
+"""
+
+from __future__ import annotations
+
+from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.patterns.ast import (
+    Alternation,
+    AnyPattern,
+    Empty,
+    EventPattern,
+    Repetition,
+    SamplePattern,
+    Sequence,
+)
+
+__all__ = ["naive_matches"]
+
+
+def naive_matches(provenance: Provenance, pattern: SamplePattern) -> bool:
+    """Decide ``κ ⊨ π`` by direct rule application (exponential)."""
+
+    return _matches(provenance.events, pattern)
+
+
+def _matches(events: tuple[Event, ...], pattern: SamplePattern) -> bool:
+    if isinstance(pattern, AnyPattern):
+        # S-Any
+        return True
+    if isinstance(pattern, Empty):
+        # S-Empty
+        return not events
+    if isinstance(pattern, EventPattern):
+        # S-Send / S-Recv: exactly one event of the right polarity whose
+        # principal is in the group and whose channel provenance matches.
+        if len(events) != 1:
+            return False
+        event = events[0]
+        if pattern.direction == "!" and not isinstance(event, OutputEvent):
+            return False
+        if pattern.direction == "?" and not isinstance(event, InputEvent):
+            return False
+        if not pattern.group.contains(event.principal):
+            return False
+        return _matches(event.channel_provenance.events, pattern.channel_pattern)
+    if isinstance(pattern, Sequence):
+        # S-Cat: try every split point, including the empty extremes.
+        return any(
+            _matches(events[:i], pattern.left)
+            and _matches(events[i:], pattern.right)
+            for i in range(len(events) + 1)
+        )
+    if isinstance(pattern, Alternation):
+        # S-AltL / S-AltR
+        return _matches(events, pattern.left) or _matches(events, pattern.right)
+    if isinstance(pattern, Repetition):
+        # S-Rep: zero chunks matches the empty provenance; otherwise peel a
+        # non-empty first chunk (empty chunks never change the residue, so
+        # restricting to non-empty chunks loses no derivations and keeps
+        # the recursion well-founded).
+        if not events:
+            return True
+        return any(
+            _matches(events[:i], pattern.body) and _matches(events[i:], pattern)
+            for i in range(1, len(events) + 1)
+        )
+    raise TypeError(f"not a sample pattern: {pattern!r}")

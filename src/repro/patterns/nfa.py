@@ -1,0 +1,206 @@
+"""Compiled pattern matcher: Thompson NFA over event tests.
+
+Table 3 patterns are regular expressions whose alphabet "letters" are
+event tests — a letter inspects an event's polarity (``!``/``?``), its
+principal (a group-membership test), and *recursively* matches the event's
+channel provenance against a nested pattern.  We compile a pattern once
+into a non-deterministic finite automaton (Thompson's construction) and
+decide ``κ ⊨ π`` by subset simulation:
+
+* simulation is ``O(|κ| · |states| · edge-cost)`` instead of the naive
+  matcher's exponential split search;
+* nested channel-provenance tests recurse into the same matcher, memoized
+  on ``(provenance, pattern)`` so repeated sub-derivations (ubiquitous —
+  channel provenances are shared across events) are decided once.
+
+The matcher is a class so caches have an owner and tests can measure cold
+and warm behaviour; a process-wide :func:`default_matcher` instance serves
+:meth:`SamplePattern.matches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.patterns.ast import (
+    Alternation,
+    AnyPattern,
+    Empty,
+    EventPattern,
+    Repetition,
+    SamplePattern,
+    Sequence,
+)
+
+__all__ = ["NFA", "compile_pattern", "NFAMatcher", "default_matcher"]
+
+
+_WILDCARD = "wild"
+
+# An edge test: None is an epsilon edge; the wildcard consumes any event;
+# an EventPattern consumes one event satisfying the (recursive) test.
+EdgeTest = Union[None, str, EventPattern]
+
+
+@dataclass(slots=True)
+class NFA:
+    """A compiled pattern: adjacency lists of ``(test, target)`` edges."""
+
+    edges: list[list[tuple[EdgeTest, int]]] = field(default_factory=list)
+    start: int = 0
+    accept: int = 0
+
+    def new_state(self) -> int:
+        self.edges.append([])
+        return len(self.edges) - 1
+
+    def add_edge(self, source: int, test: EdgeTest, target: int) -> None:
+        self.edges[source].append((test, target))
+
+    @property
+    def state_count(self) -> int:
+        return len(self.edges)
+
+    def epsilon_closure(self, states: frozenset[int]) -> frozenset[int]:
+        """All states reachable via epsilon edges."""
+
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for test, target in self.edges[state]:
+                if test is None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+
+def compile_pattern(pattern: SamplePattern) -> NFA:
+    """Thompson's construction, specialized for Table 3 patterns."""
+
+    nfa = NFA()
+
+    def build(p: SamplePattern) -> tuple[int, int]:
+        if isinstance(p, Empty):
+            state = nfa.new_state()
+            return state, state
+        if isinstance(p, AnyPattern):
+            state = nfa.new_state()
+            nfa.add_edge(state, _WILDCARD, state)
+            return state, state
+        if isinstance(p, EventPattern):
+            start = nfa.new_state()
+            accept = nfa.new_state()
+            nfa.add_edge(start, p, accept)
+            return start, accept
+        if isinstance(p, Sequence):
+            left_start, left_accept = build(p.left)
+            right_start, right_accept = build(p.right)
+            nfa.add_edge(left_accept, None, right_start)
+            return left_start, right_accept
+        if isinstance(p, Alternation):
+            start = nfa.new_state()
+            accept = nfa.new_state()
+            for part in (p.left, p.right):
+                part_start, part_accept = build(part)
+                nfa.add_edge(start, None, part_start)
+                nfa.add_edge(part_accept, None, accept)
+            return start, accept
+        if isinstance(p, Repetition):
+            hub = nfa.new_state()
+            body_start, body_accept = build(p.body)
+            nfa.add_edge(hub, None, body_start)
+            nfa.add_edge(body_accept, None, hub)
+            return hub, hub
+        raise TypeError(f"not a sample pattern: {p!r}")
+
+    nfa.start, nfa.accept = build(pattern)
+    return nfa
+
+
+class NFAMatcher:
+    """Decides ``κ ⊨ π`` via compiled NFAs with memoization.
+
+    ``cache_limit`` bounds both internal caches; when a cache grows past
+    the limit it is cleared wholesale (simple, and the caches rebuild
+    quickly from the recursive structure of real workloads).
+    """
+
+    def __init__(self, cache_limit: int = 1 << 16) -> None:
+        self._cache_limit = cache_limit
+        self._compiled: dict[SamplePattern, NFA] = {}
+        self._decided: dict[tuple[Provenance, SamplePattern], bool] = {}
+
+    def compiled(self, pattern: SamplePattern) -> NFA:
+        nfa = self._compiled.get(pattern)
+        if nfa is None:
+            if len(self._compiled) >= self._cache_limit:
+                self._compiled.clear()
+            nfa = compile_pattern(pattern)
+            self._compiled[pattern] = nfa
+        return nfa
+
+    def matches(self, provenance: Provenance, pattern: SamplePattern) -> bool:
+        """Decide ``κ ⊨ π``."""
+
+        key = (provenance, pattern)
+        decided = self._decided.get(key)
+        if decided is not None:
+            return decided
+        result = self._simulate(provenance, pattern)
+        if len(self._decided) >= self._cache_limit:
+            self._decided.clear()
+        self._decided[key] = result
+        return result
+
+    def _simulate(self, provenance: Provenance, pattern: SamplePattern) -> bool:
+        nfa = self.compiled(pattern)
+        states = nfa.epsilon_closure(frozenset((nfa.start,)))
+        for event in provenance.events:
+            moved: set[int] = set()
+            for state in states:
+                for test, target in nfa.edges[state]:
+                    if test is None or target in moved:
+                        continue
+                    if self._edge_passes(test, event):
+                        moved.add(target)
+            if not moved:
+                return False
+            states = nfa.epsilon_closure(frozenset(moved))
+        return nfa.accept in states
+
+    def _edge_passes(self, test: EdgeTest, event: Event) -> bool:
+        if test == _WILDCARD:
+            return True
+        assert isinstance(test, EventPattern)
+        if test.direction == "!" and not isinstance(event, OutputEvent):
+            return False
+        if test.direction == "?" and not isinstance(event, InputEvent):
+            return False
+        if not test.group.contains(event.principal):
+            return False
+        # Recursive nested test on the channel provenance; memoized.
+        return self.matches(event.channel_provenance, test.channel_pattern)
+
+    def cache_sizes(self) -> tuple[int, int]:
+        """(compiled patterns, decided queries) — for tests and benches."""
+
+        return len(self._compiled), len(self._decided)
+
+    def clear(self) -> None:
+        self._compiled.clear()
+        self._decided.clear()
+
+
+_DEFAULT: Optional[NFAMatcher] = None
+
+
+def default_matcher() -> NFAMatcher:
+    """The process-wide matcher behind :meth:`SamplePattern.matches`."""
+
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = NFAMatcher()
+    return _DEFAULT

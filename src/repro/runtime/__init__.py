@@ -1,0 +1,26 @@
+"""Simulated distributed runtime: the trusted-middleware deployment."""
+
+from repro.runtime.adversary import ForgingAdversary
+from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
+from repro.runtime.middleware import (
+    ChannelManager,
+    Middleware,
+    PendingReceive,
+    ReceiveBranch,
+)
+from repro.runtime.network import LatencyModel, Network
+from repro.runtime.node import Node
+from repro.runtime.runtime import DistributedRuntime
+from repro.runtime.simulator import Simulator
+from repro.runtime.wire import (
+    decode_payload,
+    decode_plain,
+    decode_provenance,
+    decode_value,
+    encode_payload,
+    encode_plain,
+    encode_provenance,
+    encode_value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,63 @@
+"""Adversarial principals: forging provenance.
+
+The paper's introduction motivates middleware-enforced provenance with a
+forgery: under the application-level convention ``n⟨sender, value⟩``,
+nothing stops ``b`` from sending ``n⟨a, v₂⟩`` and impersonating ``a``.
+:class:`ForgingAdversary` mounts exactly that attack against the runtime:
+it fabricates an annotated value whose provenance claims some victim
+principal sent it, and tries to slip it past the middleware.
+
+With ``enforce_integrity=True`` (the default, modelling the digital
+signature scheme the paper appeals to) the injection is dropped and
+counted in ``metrics.forgeries_blocked``; with enforcement off — the
+convention-based world — the forgery lands and consumers relying on
+provenance are deceived.  Example ``examples/adversary_forgery.py`` and
+the E5 tests run both worlds side by side.
+"""
+
+from __future__ import annotations
+
+from repro.core.names import Channel, PlainValue, Principal
+from repro.core.provenance import EMPTY, OutputEvent, Provenance
+from repro.core.values import AnnotatedValue
+from repro.runtime.middleware import Middleware
+
+__all__ = ["ForgingAdversary"]
+
+
+class ForgingAdversary:
+    """A principal that fabricates provenance."""
+
+    def __init__(self, principal: Principal, middleware: Middleware) -> None:
+        self.principal = principal
+        self.middleware = middleware
+        self.attempts = 0
+
+    def forge_origin(
+        self,
+        channel: Channel,
+        victim: Principal,
+        payload: tuple[PlainValue, ...],
+        depth: int = 1,
+    ) -> bool:
+        """Inject ``payload`` claiming ``victim`` sent it ``depth`` times.
+
+        Returns True when the forgery was accepted (integrity off).
+        """
+
+        provenance = EMPTY
+        for _ in range(depth):
+            provenance = provenance.cons(OutputEvent(victim, EMPTY))
+        fabricated = tuple(
+            AnnotatedValue(value, provenance) for value in payload
+        )
+        self.attempts += 1
+        return self.middleware.inject_raw(channel, fabricated, signed=False)
+
+    def replay(
+        self, channel: Channel, captured: tuple[AnnotatedValue, ...]
+    ) -> bool:
+        """Replay a previously observed annotated payload verbatim."""
+
+        self.attempts += 1
+        return self.middleware.inject_raw(channel, captured, signed=False)

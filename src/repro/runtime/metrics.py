@@ -1,0 +1,93 @@
+"""Metrics collected by the simulated runtime.
+
+The §5 discussion of the paper motivates measuring the run-time overhead
+of dynamic provenance tracking; these counters are the measurement
+surface for experiments E13 (metadata overhead) and the runtime half of
+E2's ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.names import Channel, Principal
+from repro.core.values import AnnotatedValue
+
+__all__ = ["DeliveryRecord", "RuntimeMetrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One successful delivery, as observed by the middleware."""
+
+    time: float
+    principal: Principal
+    channel: Channel
+    values: tuple[AnnotatedValue, ...]
+    branch_index: int
+
+
+@dataclass(slots=True)
+class RuntimeMetrics:
+    """Counters and series accumulated over a simulation run."""
+
+    messages_sent: int = 0
+    deliveries: int = 0
+    bytes_total: int = 0
+    bytes_payload: int = 0
+    bytes_provenance: int = 0
+    pattern_checks: int = 0
+    pattern_rejections: int = 0
+    forgeries_blocked: int = 0
+    forgeries_accepted: int = 0
+    provenance_spine_lengths: list[int] = field(default_factory=list)
+    provenance_event_counts: list[int] = field(default_factory=list)
+    delivery_latencies: list[float] = field(default_factory=list)
+    delivered: list[DeliveryRecord] = field(default_factory=list)
+
+    def record_send(
+        self, payload_bytes: int, provenance_bytes: int
+    ) -> None:
+        self.messages_sent += 1
+        self.bytes_total += payload_bytes + provenance_bytes
+        self.bytes_payload += payload_bytes
+        self.bytes_provenance += provenance_bytes
+
+    def record_delivery(self, record: DeliveryRecord, latency: float) -> None:
+        self.deliveries += 1
+        self.delivery_latencies.append(latency)
+        self.delivered.append(record)
+        for value in record.values:
+            self.provenance_spine_lengths.append(len(value.provenance))
+            self.provenance_event_counts.append(value.provenance.total_events())
+
+    @property
+    def provenance_overhead_ratio(self) -> float:
+        """Provenance bytes as a fraction of all bytes shipped."""
+
+        if not self.bytes_total:
+            return 0.0
+        return self.bytes_provenance / self.bytes_total
+
+    def summary(self) -> dict[str, Any]:
+        """A flat dict for reports and benchmark rows."""
+
+        spine = self.provenance_spine_lengths
+        events = self.provenance_event_counts
+        return {
+            "messages_sent": self.messages_sent,
+            "deliveries": self.deliveries,
+            "bytes_total": self.bytes_total,
+            "bytes_payload": self.bytes_payload,
+            "bytes_provenance": self.bytes_provenance,
+            "provenance_overhead_ratio": round(self.provenance_overhead_ratio, 4),
+            "pattern_checks": self.pattern_checks,
+            "pattern_rejections": self.pattern_rejections,
+            "forgeries_blocked": self.forgeries_blocked,
+            "forgeries_accepted": self.forgeries_accepted,
+            "max_provenance_spine": max(spine, default=0),
+            "mean_provenance_events": (
+                sum(events) / len(events) if events else 0.0
+            ),
+        }

@@ -1,0 +1,273 @@
+"""The trusted provenance-tracking middleware.
+
+The paper's two-tier design (footnote 1) assigns provenance tracking to a
+trusted layer beneath application code: applications just send and
+receive; the middleware stamps output events at send time, vets patterns
+and stamps input events at delivery time.  Principals get *read-only*
+access to provenance and cannot forge it — the integrity property that
+the application-level encoding of §1 (``b[n⟨a, v₂⟩]``) lacks.
+
+Architecture:
+
+* one :class:`ChannelManager` per channel name — the rendezvous point
+  holding undelivered messages and waiting receivers (an implementation
+  of the calculus' message terms ``n⟨⟨w⟩⟩``);
+* :class:`Middleware` — the API nodes call: ``send`` serializes the
+  payload (bytes are counted — experiment E13 measures real metadata
+  overhead), stamps the output event and routes to the manager with
+  network latency; ``receive`` registers branch patterns and a
+  continuation, and the manager fires the first branch whose patterns
+  admit an available message, stamping the input event before handing the
+  values over;
+* ``inject_raw`` — the unchecked path an adversary would use; with
+  integrity enforcement on (the default) unsigned injections are dropped,
+  modelling the digital-signature scheme the paper appeals to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.names import Channel, NameSupply, Principal
+from repro.core.patterns import Pattern
+from repro.core.provenance import InputEvent, OutputEvent, Provenance
+from repro.core.semantics import SemanticsMode
+from repro.core.values import AnnotatedValue
+from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.wire import encode_payload, encode_provenance
+
+__all__ = ["ReceiveBranch", "PendingReceive", "ChannelManager", "Middleware"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiveBranch:
+    """One summand of a pattern-restricted input, runtime form."""
+
+    patterns: tuple[Pattern, ...]
+    callback: Callable[[int, tuple[AnnotatedValue, ...]], None] = field(hash=False)
+
+    @property
+    def arity(self) -> int:
+        return len(self.patterns)
+
+
+@dataclass(slots=True)
+class PendingReceive:
+    """A registered receiver: principal, channel view, branches."""
+
+    principal: Principal
+    channel_provenance: Provenance
+    branches: tuple[ReceiveBranch, ...]
+    posted_at: float
+    consumed: bool = False
+
+
+@dataclass(slots=True)
+class _StoredMessage:
+    payload: tuple[AnnotatedValue, ...]
+    posted_at: float
+
+
+class ChannelManager:
+    """Rendezvous state for a single channel."""
+
+    def __init__(self, channel: Channel, middleware: "Middleware") -> None:
+        self.channel = channel
+        self._middleware = middleware
+        self._messages: deque[_StoredMessage] = deque()
+        self._waiters: list[PendingReceive] = []
+
+    @property
+    def queued_messages(self) -> int:
+        return len(self._messages)
+
+    @property
+    def waiting_receivers(self) -> int:
+        return sum(1 for waiter in self._waiters if not waiter.consumed)
+
+    def post(self, payload: tuple[AnnotatedValue, ...], posted_at: float) -> None:
+        self._messages.append(_StoredMessage(payload, posted_at))
+        self._match()
+
+    def register(self, pending: PendingReceive) -> None:
+        self._waiters.append(pending)
+        self._match()
+
+    def _match(self) -> None:
+        """Deliver every (message, waiter, branch) triple that fits."""
+
+        progress = True
+        while progress:
+            progress = False
+            for waiter in self._waiters:
+                if waiter.consumed:
+                    continue
+                delivery = self._try_deliver(waiter)
+                if delivery:
+                    progress = True
+                    break
+            self._waiters = [w for w in self._waiters if not w.consumed]
+
+    def _try_deliver(self, waiter: PendingReceive) -> bool:
+        middleware = self._middleware
+        for message_index, stored in enumerate(self._messages):
+            for branch_index, branch in enumerate(waiter.branches):
+                if branch.arity != len(stored.payload):
+                    continue
+                if not middleware.vet(branch.patterns, stored.payload):
+                    continue
+                del self._messages[message_index]
+                waiter.consumed = True
+                values = middleware.stamp_input(
+                    waiter.principal, waiter.channel_provenance, stored.payload
+                )
+                record = DeliveryRecord(
+                    middleware.simulator.now,
+                    waiter.principal,
+                    self.channel,
+                    values,
+                    branch_index,
+                )
+                middleware.metrics.record_delivery(
+                    record, middleware.simulator.now - stored.posted_at
+                )
+                branch.callback(branch_index, values)
+                return True
+        return False
+
+
+class Middleware:
+    """The trusted layer every node talks to."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        metrics: Optional[RuntimeMetrics] = None,
+        mode: SemanticsMode = SemanticsMode.TRACKED,
+        enforce_integrity: bool = True,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.mode = mode
+        self.enforce_integrity = enforce_integrity
+        self.supply = NameSupply()
+        self._managers: dict[Channel, ChannelManager] = {}
+
+    def manager(self, channel: Channel) -> ChannelManager:
+        existing = self._managers.get(channel)
+        if existing is None:
+            existing = ChannelManager(channel, self)
+            self._managers[channel] = existing
+        return existing
+
+    # -- provenance operations (the trusted tier) -------------------------
+
+    def stamp_output(
+        self,
+        principal: Principal,
+        channel_provenance: Provenance,
+        payload: tuple[AnnotatedValue, ...],
+    ) -> tuple[AnnotatedValue, ...]:
+        """R-Send's provenance update: prepend ``a!κm`` to every component."""
+
+        if self.mode is SemanticsMode.ERASED:
+            return payload
+        event = OutputEvent(principal, channel_provenance)
+        return tuple(value.record(event) for value in payload)
+
+    def stamp_input(
+        self,
+        principal: Principal,
+        channel_provenance: Provenance,
+        payload: tuple[AnnotatedValue, ...],
+    ) -> tuple[AnnotatedValue, ...]:
+        """R-Recv's provenance update: prepend ``a?κm``."""
+
+        if self.mode is SemanticsMode.ERASED:
+            return payload
+        event = InputEvent(principal, channel_provenance)
+        return tuple(value.record(event) for value in payload)
+
+    def vet(
+        self, patterns: tuple[Pattern, ...], payload: tuple[AnnotatedValue, ...]
+    ) -> bool:
+        """Pattern vetting ``κv ⊨ π`` per component (skipped when erased)."""
+
+        self.metrics.pattern_checks += 1
+        if self.mode is SemanticsMode.ERASED:
+            return True
+        admitted = all(
+            pattern.matches(value.provenance)
+            for pattern, value in zip(patterns, payload)
+        )
+        if not admitted:
+            self.metrics.pattern_rejections += 1
+        return admitted
+
+    # -- node-facing API ---------------------------------------------------
+
+    def send(
+        self,
+        principal: Principal,
+        channel: AnnotatedValue,
+        payload: tuple[AnnotatedValue, ...],
+    ) -> None:
+        """Asynchronous output: stamp, serialize, ship."""
+
+        if not isinstance(channel.value, Channel):
+            raise TypeError(f"cannot send on non-channel {channel.value!r}")
+        stamped = self.stamp_output(principal, channel.provenance, payload)
+        provenance_bytes = sum(
+            len(encode_provenance(value.provenance)) for value in stamped
+        )
+        total_bytes = len(encode_payload(stamped))
+        self.metrics.record_send(total_bytes - provenance_bytes, provenance_bytes)
+        destination = self.manager(channel.value)
+        posted_at = self.simulator.now
+        self.network.deliver(
+            total_bytes, lambda: destination.post(stamped, posted_at)
+        )
+
+    def receive(
+        self,
+        principal: Principal,
+        channel: AnnotatedValue,
+        branches: tuple[ReceiveBranch, ...],
+    ) -> PendingReceive:
+        """Pattern-restricted input: register and wait."""
+
+        if not isinstance(channel.value, Channel):
+            raise TypeError(f"cannot receive on non-channel {channel.value!r}")
+        pending = PendingReceive(
+            principal, channel.provenance, branches, self.simulator.now
+        )
+        self.manager(channel.value).register(pending)
+        return pending
+
+    def inject_raw(
+        self,
+        channel: Channel,
+        payload: tuple[AnnotatedValue, ...],
+        signed: bool = False,
+    ) -> bool:
+        """The adversary's door: post a message without the send path.
+
+        With integrity enforcement (default) unsigned injections are
+        rejected — provenance cannot be forged past the middleware.
+        Disabling enforcement models the convention-based encoding of the
+        paper's introduction, where nothing stops ``b`` from claiming
+        ``a`` sent the value.
+        """
+
+        if self.enforce_integrity and not signed:
+            self.metrics.forgeries_blocked += 1
+            return False
+        self.metrics.forgeries_accepted += 1
+        self.manager(channel).post(payload, self.simulator.now)
+        return True

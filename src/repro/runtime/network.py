@@ -1,0 +1,55 @@
+"""Simulated network: latency model and delivery.
+
+A deliberately small abstraction: messages take ``base + U(0, jitter)``
+time units to reach their channel manager, sampled from the simulator's
+seeded generator.  Per-message sizes are reported so bandwidth-style
+metrics can be derived.  Loss and partition are out of scope — the
+calculus' semantics assumes reliable (if arbitrarily delayed) delivery,
+and the paper's claims do not touch fault tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.simulator import Simulator
+
+__all__ = ["LatencyModel", "Network"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Uniform latency ``base + U(0, jitter)``."""
+
+    base: float = 1.0
+    jitter: float = 0.5
+
+    def sample(self, rng) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.random() * self.jitter
+
+
+class Network:
+    """Routes byte blobs to callbacks after a sampled delay."""
+
+    def __init__(
+        self, simulator: Simulator, latency: LatencyModel = LatencyModel()
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency
+        self.messages_in_flight = 0
+        self.bytes_carried = 0
+
+    def deliver(self, size_bytes: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after a latency sample."""
+
+        self.bytes_carried += size_bytes
+        self.messages_in_flight += 1
+
+        def arrive() -> None:
+            self.messages_in_flight -= 1
+            callback()
+
+        self.simulator.schedule(self.latency.sample(self.simulator.rng), arrive)

@@ -1,0 +1,128 @@
+"""Nodes: executing calculus processes on the simulated substrate.
+
+A :class:`Node` hosts the code of one principal and interprets process
+terms directly against the middleware — this is the application tier of
+the two-tier architecture.  Application code never touches provenance:
+outputs hand plain annotated values to :meth:`Middleware.send` (which
+stamps them), inputs register patterns and get stamped values back.
+
+Replication is interpreted with a *budget*: ``∗P`` spawns
+``replication_budget`` concurrent copies.  An unbounded ``∗P`` cannot be
+executed on finite hardware; the budget is the standard prefork
+approximation and is configurable per runtime.  (The calculus-level
+engine in :mod:`repro.core` remains exact — lazily unfolding — so nothing
+about the formal results depends on this bound.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import OpenTermError, SimulationError
+from repro.core.names import Principal
+from repro.core.process import (
+    Inaction,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.substitution import rename_free_channel, substitute
+from repro.core.values import AnnotatedValue
+from repro.runtime.middleware import Middleware, ReceiveBranch
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One principal's execution container."""
+
+    def __init__(
+        self,
+        principal: Principal,
+        middleware: Middleware,
+        replication_budget: int = 4,
+        processing_delay: float = 0.0,
+    ) -> None:
+        self.principal = principal
+        self.middleware = middleware
+        self.replication_budget = replication_budget
+        self.processing_delay = processing_delay
+        self.threads_spawned = 0
+        self.blocked_threads = 0
+
+    def spawn(self, process: Process) -> None:
+        """Schedule ``process`` for execution on this node."""
+
+        self.threads_spawned += 1
+        self.middleware.simulator.schedule(
+            self.processing_delay, lambda: self._execute(process)
+        )
+
+    def _execute(self, process: Process) -> None:
+        if isinstance(process, Inaction):
+            return
+        if isinstance(process, Parallel):
+            for part in process.parts:
+                self.spawn(part)
+            return
+        if isinstance(process, Restriction):
+            fresh = self.middleware.supply.fresh_channel(process.channel)
+            self.spawn(rename_free_channel(process.body, process.channel, fresh))
+            return
+        if isinstance(process, Replication):
+            for _ in range(self.replication_budget):
+                self.spawn(process.body)
+            return
+        if isinstance(process, Output):
+            channel = process.channel
+            if not isinstance(channel, AnnotatedValue):
+                raise OpenTermError({channel}, f"output at {self.principal}")
+            payload = []
+            for component in process.payload:
+                if not isinstance(component, AnnotatedValue):
+                    raise OpenTermError({component}, f"output at {self.principal}")
+                payload.append(component)
+            self.middleware.send(self.principal, channel, tuple(payload))
+            return
+        if isinstance(process, InputSum):
+            self._execute_input(process)
+            return
+        if isinstance(process, Match):
+            left, right = process.left, process.right
+            if not isinstance(left, AnnotatedValue) or not isinstance(
+                right, AnnotatedValue
+            ):
+                raise OpenTermError({left, right}, f"match at {self.principal}")
+            chosen = (
+                process.then_branch
+                if left.value == right.value
+                else process.else_branch
+            )
+            self.spawn(chosen)
+            return
+        raise SimulationError(f"cannot execute {process!r}")
+
+    def _execute_input(self, input_sum: InputSum) -> None:
+        channel = input_sum.channel
+        if not isinstance(channel, AnnotatedValue):
+            raise OpenTermError({channel}, f"input at {self.principal}")
+        self.blocked_threads += 1
+        branches = []
+        for branch in input_sum.branches:
+
+            def fire(
+                branch_index: int,
+                values: tuple[AnnotatedValue, ...],
+                *,
+                _branch=branch,
+            ) -> None:
+                self.blocked_threads -= 1
+                mapping = dict(zip(_branch.binders, values))
+                self.spawn(substitute(_branch.continuation, mapping))
+
+            branches.append(ReceiveBranch(branch.patterns, fire))
+        self.middleware.receive(self.principal, channel, tuple(branches))

@@ -1,0 +1,97 @@
+"""Discrete-event simulation core.
+
+The runtime package implements the deployment the paper's footnote 1
+envisages — provenance tracking performed by a trusted middleware beneath
+application code — on a *simulated* distributed substrate (the paper has
+no implementation and we have no cluster; the simulation exercises the
+same code paths: serialize, route, vet, deliver).
+
+This module is the clock: a classic event-queue simulator.  Determinism
+is a design requirement — all randomness (latency jitter) flows from one
+seeded generator, and simultaneous events tie-break on a monotone
+sequence number, so every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Simulator:
+    """A deterministic discrete-event loop.
+
+    ``schedule(delay, callback)`` enqueues work ``delay`` time units in
+    the future; :meth:`run` drains the queue in time order.  Callbacks may
+    schedule further events.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._queue: list[_Scheduled] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> _Scheduled:
+        """Enqueue ``callback`` to run at ``now + delay``."""
+
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._sequence += 1
+        event = _Scheduled(self.now + delay, self._sequence, callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _Scheduled) -> None:
+        """Mark a scheduled event as dead (it will be skipped)."""
+
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-run (possibly cancelled) events."""
+
+        return len(self._queue)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> int:
+        """Process events in time order; returns how many ran.
+
+        Stops when the queue is empty, simulated time passes ``until``, or
+        ``max_events`` callbacks have run (a divergence guard for
+        replicated senders).
+        """
+
+        processed = 0
+        while self._queue and processed < max_events:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._queue, event)
+                break
+            self.now = max(self.now, event.time)
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        return processed

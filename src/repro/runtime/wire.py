@@ -1,0 +1,183 @@
+"""Wire format: serialization of values and provenance.
+
+The provenance-overhead experiments (E13) need honest byte counts, so the
+runtime really serializes what travels: a compact length-prefixed binary
+format for plain values, provenance trees and message payloads.
+
+Layout (all integers are unsigned LEB128 varints)::
+
+    name       ::=  varint(len) utf8-bytes
+    plain      ::=  0x43 name            -- 'C', channel
+               |    0x50 name            -- 'P', principal
+    event      ::=  0x21 name provenance -- '!', output event
+               |    0x3F name provenance -- '?', input event
+    provenance ::=  varint(n) event*n
+    value      ::=  plain provenance     -- an annotated value
+    payload    ::=  varint(k) value*k
+
+The codec is total on well-formed inputs and raises
+:class:`~repro.core.errors.WireFormatError` on malformed bytes; encode/
+decode round-trips are property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WireFormatError
+from repro.core.names import Channel, PlainValue, Principal
+from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.core.values import AnnotatedValue
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_plain",
+    "decode_plain",
+    "encode_provenance",
+    "decode_provenance",
+    "encode_value",
+    "decode_value",
+    "encode_payload",
+    "decode_payload",
+]
+
+_TAG_CHANNEL = 0x43
+_TAG_PRINCIPAL = 0x50
+_TAG_OUTPUT = 0x21
+_TAG_INPUT = 0x3F
+
+
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+
+    if value < 0:
+        raise WireFormatError(f"cannot encode negative varint {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireFormatError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise WireFormatError("varint too long")
+
+
+def _encode_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def _decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    length, offset = decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise WireFormatError("truncated name")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as error:
+        raise WireFormatError(f"bad utf-8 in name: {error}") from error
+
+
+def encode_plain(value: PlainValue) -> bytes:
+    if isinstance(value, Channel):
+        return bytes((_TAG_CHANNEL,)) + _encode_name(value.name)
+    if isinstance(value, Principal):
+        return bytes((_TAG_PRINCIPAL,)) + _encode_name(value.name)
+    raise WireFormatError(f"not a plain value: {value!r}")
+
+
+def decode_plain(data: bytes, offset: int) -> tuple[PlainValue, int]:
+    if offset >= len(data):
+        raise WireFormatError("truncated plain value")
+    tag = data[offset]
+    name, offset = _decode_name(data, offset + 1)
+    if tag == _TAG_CHANNEL:
+        return Channel(name), offset
+    if tag == _TAG_PRINCIPAL:
+        return Principal(name), offset
+    raise WireFormatError(f"unknown plain-value tag 0x{tag:02x}")
+
+
+def encode_provenance(provenance: Provenance) -> bytes:
+    out = bytearray(encode_varint(len(provenance.events)))
+    for event in provenance.events:
+        out += _encode_event(event)
+    return bytes(out)
+
+
+def _encode_event(event: Event) -> bytes:
+    if isinstance(event, OutputEvent):
+        tag = _TAG_OUTPUT
+    elif isinstance(event, InputEvent):
+        tag = _TAG_INPUT
+    else:
+        raise WireFormatError(f"not an event: {event!r}")
+    return (
+        bytes((tag,))
+        + _encode_name(event.principal.name)
+        + encode_provenance(event.channel_provenance)
+    )
+
+
+def decode_provenance(data: bytes, offset: int) -> tuple[Provenance, int]:
+    count, offset = decode_varint(data, offset)
+    events = []
+    for _ in range(count):
+        event, offset = _decode_event(data, offset)
+        events.append(event)
+    return Provenance(tuple(events)), offset
+
+
+def _decode_event(data: bytes, offset: int) -> tuple[Event, int]:
+    if offset >= len(data):
+        raise WireFormatError("truncated event")
+    tag = data[offset]
+    name, offset = _decode_name(data, offset + 1)
+    nested, offset = decode_provenance(data, offset)
+    if tag == _TAG_OUTPUT:
+        return OutputEvent(Principal(name), nested), offset
+    if tag == _TAG_INPUT:
+        return InputEvent(Principal(name), nested), offset
+    raise WireFormatError(f"unknown event tag 0x{tag:02x}")
+
+
+def encode_value(value: AnnotatedValue) -> bytes:
+    return encode_plain(value.value) + encode_provenance(value.provenance)
+
+
+def decode_value(data: bytes, offset: int = 0) -> tuple[AnnotatedValue, int]:
+    plain, offset = decode_plain(data, offset)
+    provenance, offset = decode_provenance(data, offset)
+    return AnnotatedValue(plain, provenance), offset
+
+
+def encode_payload(payload: tuple[AnnotatedValue, ...]) -> bytes:
+    out = bytearray(encode_varint(len(payload)))
+    for value in payload:
+        out += encode_value(value)
+    return bytes(out)
+
+
+def decode_payload(data: bytes, offset: int = 0) -> tuple[tuple[AnnotatedValue, ...], int]:
+    count, offset = decode_varint(data, offset)
+    values = []
+    for _ in range(count):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    return tuple(values), offset

@@ -1,0 +1,29 @@
+"""Workload generators: paper examples, topology sweeps, random systems."""
+
+from repro.workloads.competition import (
+    CompetitionWorkload,
+    all_contestants_served,
+    competition,
+    expected_entry_provenance,
+    expected_rating_provenance,
+    received_entry_provenance,
+)
+from repro.workloads.random_systems import (
+    GeneratorConfig,
+    random_group,
+    random_log,
+    random_pattern,
+    random_process,
+    random_provenance,
+    random_system,
+)
+from repro.workloads.topologies import (
+    ChainWorkload,
+    MarketWorkload,
+    fan_out,
+    freeze,
+    market,
+    relay_chain,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

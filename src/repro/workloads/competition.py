@@ -1,0 +1,237 @@
+"""The photography-competition example (§2.3.2), parameterized.
+
+Contestants submit entries to an organiser on ``sub``; the organiser
+forwards each entry to a judge chosen by the *provenance* of the
+submission (pattern ``πⱼ = (cᵢ₁+…+cᵢₖ)!Any; Any`` routes entries submitted
+by the contestants assigned to judge ``j``); judges return rated entries
+on ``res``; the organiser publishes results on ``pub`` as a replicated
+output; each contestant retrieves *its own* result by vetting the entry's
+provenance with ``Any; cᵢ!Any`` — "originated at me".
+
+Deviations from the paper's listing, both forced by its own intended
+behaviour:
+
+* judges are replicated (``jₖ[∗ inₖ(x).res⟨x, rateₖ⟩]``): the paper's
+  single-shot judge could rate only one entry, yet its final state shows
+  every entry rated;
+* the abstract ``rate(x)`` function is modelled as a judge-specific
+  rating token ``rateₖ`` (a fresh channel value with ``ε`` provenance),
+  which preserves the paper's reported rating provenance
+  ``κri = o?ε; jₖ!ε`` exactly.
+
+:func:`expected_entry_provenance` / :func:`expected_rating_provenance`
+construct the κ-formulas the paper states, so tests and benches assert
+byte-for-byte agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import (
+    branch,
+    ch,
+    choice,
+    inp,
+    located,
+    out,
+    par,
+    pr,
+    rep,
+    sys_par,
+    var,
+)
+from repro.core.names import Channel, Principal
+from repro.core.process import annotated_values
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.core.system import Located, System, located_components
+from repro.patterns.ast import (
+    AnyPattern,
+    EventPattern,
+    Group,
+    GroupSingle,
+    GroupUnion,
+    Sequence,
+)
+from repro.workloads.topologies import freeze
+
+__all__ = [
+    "CompetitionWorkload",
+    "competition",
+    "expected_entry_provenance",
+    "expected_rating_provenance",
+    "received_entry_provenance",
+    "all_contestants_served",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CompetitionWorkload:
+    """The competition system plus the cast and naming scheme."""
+
+    system: System
+    organiser: Principal
+    contestants: tuple[Principal, ...]
+    judges: tuple[Principal, ...]
+    entries: tuple[Channel, ...]
+    ratings: tuple[Channel, ...]
+    assignment: tuple[int, ...]
+    """``assignment[i]`` is the judge index for contestant ``i``."""
+
+    def judge_of(self, contestant_index: int) -> Principal:
+        return self.judges[self.assignment[contestant_index]]
+
+
+def competition(n_contestants: int = 3, n_judges: int = 2) -> CompetitionWorkload:
+    """Build the competition; defaults reproduce the paper's 3/2 instance.
+
+    Contestant ``i`` (0-based) is assigned to judge ``i mod n_judges`` —
+    for 3 contestants and 2 judges this is exactly the paper's routing
+    (c1, c3 → j1; c2 → j2).
+    """
+
+    if n_contestants < 1 or n_judges < 1:
+        raise ValueError("need at least one contestant and one judge")
+    organiser = pr("o")
+    contestants = tuple(pr(f"c{i + 1}") for i in range(n_contestants))
+    judges = tuple(pr(f"j{k + 1}") for k in range(n_judges))
+    entries = tuple(ch(f"e{i + 1}") for i in range(n_contestants))
+    ratings = tuple(ch(f"rate{k + 1}") for k in range(n_judges))
+    assignment = tuple(i % n_judges for i in range(n_contestants))
+
+    sub, res, pub = ch("sub"), ch("res"), ch("pub")
+    in_channels = tuple(ch(f"in{k + 1}") for k in range(n_judges))
+    x, y, z = var("x"), var("y"), var("z")
+
+    components: list[System] = []
+
+    # C(c, entry, P) ≜ c[ sub⟨entry⟩ | pub(Any; c!Any as x, Any as y).P ]
+    for index, contestant in enumerate(contestants):
+        own_entry = Sequence(
+            AnyPattern(), EventPattern("!", GroupSingle(contestant), AnyPattern())
+        )
+        components.append(
+            located(
+                contestant,
+                par(
+                    out(sub, entries[index]),
+                    inp(pub, (own_entry, x), y, body=freeze(x, y)),
+                ),
+            )
+        )
+
+    # O ≜ o[ ∗( Σⱼ sub(πⱼ as x).inⱼ⟨x⟩  |  res(y, z).∗pub⟨y, z⟩ ) ]
+    judge_groups: list[Group] = []
+    for judge_index in range(n_judges):
+        assigned = [
+            contestants[i]
+            for i in range(n_contestants)
+            if assignment[i] == judge_index
+        ]
+        group: Group = GroupSingle(assigned[0]) if assigned else GroupSingle(
+            pr("_nobody")
+        )
+        for principal in assigned[1:]:
+            group = GroupUnion(group, GroupSingle(principal))
+        judge_groups.append(group)
+
+    routing = choice(
+        sub,
+        *(
+            branch(
+                (
+                    Sequence(
+                        EventPattern("!", judge_groups[k], AnyPattern()),
+                        AnyPattern(),
+                    ),
+                    x,
+                ),
+                body=out(in_channels[k], x),
+            )
+            for k in range(n_judges)
+        ),
+    )
+    result_handler = inp(res, y, z, body=rep(out(pub, y, z)))
+    components.append(located(organiser, rep(par(routing, result_handler))))
+
+    # J(j, in) ≜ j[ ∗ in(x).res⟨x, rate⟩ ]   (replicated — see module doc)
+    for judge_index, judge in enumerate(judges):
+        components.append(
+            located(
+                judge,
+                rep(
+                    inp(
+                        in_channels[judge_index],
+                        x,
+                        body=out(res, x, ratings[judge_index]),
+                    )
+                ),
+            )
+        )
+
+    return CompetitionWorkload(
+        sys_par(*components),
+        organiser,
+        contestants,
+        judges,
+        entries,
+        ratings,
+        assignment,
+    )
+
+
+def expected_entry_provenance(
+    contestant: Principal, judge: Principal, organiser: Principal
+) -> Provenance:
+    """``κei = o?ε; jₖ!ε; jₖ?ε; o!ε; o?ε; cᵢ!ε`` (as published)."""
+
+    return Provenance.of(
+        InputEvent(organiser, EMPTY),
+        OutputEvent(judge, EMPTY),
+        InputEvent(judge, EMPTY),
+        OutputEvent(organiser, EMPTY),
+        InputEvent(organiser, EMPTY),
+        OutputEvent(contestant, EMPTY),
+    )
+
+
+def expected_rating_provenance(judge: Principal, organiser: Principal) -> Provenance:
+    """``κri = o?ε; jₖ!ε`` (as published)."""
+
+    return Provenance.of(
+        InputEvent(organiser, EMPTY),
+        OutputEvent(judge, EMPTY),
+    )
+
+
+def received_entry_provenance(
+    contestant: Principal, judge: Principal, organiser: Principal
+) -> Provenance:
+    """``κ'ei = cᵢ?ε; o!ε; κei`` — the provenance after retrieval."""
+
+    return Provenance.of(
+        InputEvent(contestant, EMPTY),
+        OutputEvent(organiser, EMPTY),
+    ).concat(expected_entry_provenance(contestant, judge, organiser))
+
+
+def all_contestants_served(workload: CompetitionWorkload):
+    """A ``stop_when`` predicate: every contestant holds its result.
+
+    A served contestant's located process contains the frozen result pair
+    whose entry provenance has the full ``κ'ei`` length (8 events).
+    """
+
+    contestants = set(workload.contestants)
+
+    def predicate(system: System) -> bool:
+        served: set[Principal] = set()
+        for component in located_components(system):
+            if component.principal not in contestants:
+                continue
+            for value in annotated_values(component.process):
+                if len(value.provenance) >= 8:
+                    served.add(component.principal)
+        return served == contestants
+
+    return predicate

@@ -1,0 +1,191 @@
+"""Parameterized communication topologies.
+
+Generalizations of the paper's example systems, used by tests, examples
+and the benchmark sweeps:
+
+* :func:`relay_chain` — the auditing example (§2.3.2) with ``n`` relays:
+  ``a → s₁ → … → sₙ → c``; the delivered value's provenance grows by two
+  events per hop, giving the provenance-length series of experiment E7.
+* :func:`market` — the introduction's market-of-values: many producers
+  offer values on one channel, consumers vet them by provenance.
+* :func:`fan_out` — one producer, many consumers on distinct channels
+  (a star), exercising wide systems with independent redexes.
+* :func:`freeze` — a helper continuation that keeps received values
+  visible forever: an input guarded by a restricted channel nobody can
+  send on, whose body mentions the values.  Without it, a consumer that
+  ends in ``0`` discards the values tests want to inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import ch, inp, located, nil, out, pr, sys_par, var
+from repro.core.names import Channel, Principal, Variable
+from repro.core.patterns import Pattern
+from repro.core.process import Inaction, InputSum, Output, Process, Restriction
+from repro.core.system import Located, System
+from repro.core.values import AnnotatedValue
+from repro.patterns.ast import AnyPattern
+
+__all__ = ["ChainWorkload", "MarketWorkload", "relay_chain", "market", "fan_out", "freeze"]
+
+
+def freeze(*values, hold: str = "hold") -> Process:
+    """A process that keeps ``values`` visible but can never reduce.
+
+    ``(ν hold)( hold(z). hold⟨values…⟩ )`` — the input on the restricted
+    channel ``hold`` can never fire (no sender exists and the name cannot
+    escape), so the values survive, inspectable, in the final system.
+    """
+
+    holder = ch(hold)
+    body = InputSum(
+        AnnotatedValue(holder),
+        (
+            _freeze_branch(values, holder),
+        ),
+    )
+    return Restriction(holder, body)
+
+
+def _freeze_branch(values, holder: Channel):
+    from repro.core.process import InputBranch
+
+    binder = Variable("_z")
+    continuation: Process
+    if values:
+        continuation = Output(
+            AnnotatedValue(holder), tuple(_as_identifier(v) for v in values)
+        )
+    else:
+        continuation = Inaction()
+    return InputBranch((AnyPattern(),), (binder,), continuation)
+
+
+def _as_identifier(value):
+    if isinstance(value, (Channel, Principal)):
+        return AnnotatedValue(value)
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class ChainWorkload:
+    """A relay chain and the names needed to assert things about it."""
+
+    system: System
+    producer: Principal
+    relays: tuple[Principal, ...]
+    consumer: Principal
+    payload: Channel
+    channels: tuple[Channel, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.relays)
+
+
+def relay_chain(n_relays: int, consumer_pattern: Pattern | None = None) -> ChainWorkload:
+    """The auditing example generalized to ``n_relays`` intermediaries.
+
+    ``a[ch0⟨v⟩] ‖ s1[ch0(x).ch1⟨x⟩] ‖ … ‖ c[chN(x).freeze(x)]``.
+
+    After the run, the value held at the consumer carries provenance
+    ``c?ε; sN!ε; sN?ε; …; s1!ε; s1?ε; a!ε`` — length ``2·n_relays + 2``.
+    """
+
+    if n_relays < 0:
+        raise ValueError("n_relays must be non-negative")
+    producer = pr("a")
+    consumer = pr("c")
+    relays = tuple(pr(f"s{i + 1}") for i in range(n_relays))
+    channels = tuple(ch(f"ch{i}") for i in range(n_relays + 1))
+    payload = ch("v")
+    x = var("x")
+
+    components = [located(producer, out(channels[0], payload))]
+    for index, relay in enumerate(relays):
+        components.append(
+            located(
+                relay,
+                inp(channels[index], x, body=out(channels[index + 1], x)),
+            )
+        )
+    consumer_binding = (
+        (consumer_pattern, x) if consumer_pattern is not None else x
+    )
+    components.append(
+        located(consumer, inp(channels[-1], consumer_binding, body=freeze(x)))
+    )
+    return ChainWorkload(
+        sys_par(*components), producer, relays, consumer, payload, channels
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MarketWorkload:
+    """The introduction's market of values."""
+
+    system: System
+    producers: tuple[Principal, ...]
+    consumers: tuple[Principal, ...]
+    channel: Channel
+    payloads: tuple[Channel, ...]
+
+
+def market(
+    n_producers: int,
+    n_consumers: int,
+    consumer_pattern: Pattern | None = None,
+) -> MarketWorkload:
+    """``Πᵢ aᵢ[n⟨vᵢ⟩] ‖ Πⱼ cⱼ[n(π as x).freeze(x)]``.
+
+    With ``consumer_pattern = parse_pattern("a1!any")`` consumers insist
+    on values sent directly by ``a1`` — the paper's motivating scenario
+    where provenance substitutes for unavailable quality judgement.
+    """
+
+    if n_producers < 1 or n_consumers < 0:
+        raise ValueError("need at least one producer")
+    channel = ch("n")
+    producers = tuple(pr(f"a{i + 1}") for i in range(n_producers))
+    payloads = tuple(ch(f"v{i + 1}") for i in range(n_producers))
+    consumers = tuple(pr(f"c{j + 1}") for j in range(n_consumers))
+    x = var("x")
+
+    components = [
+        located(producer, out(channel, payload))
+        for producer, payload in zip(producers, payloads)
+    ]
+    binding = (consumer_pattern, x) if consumer_pattern is not None else x
+    for consumer in consumers:
+        components.append(
+            located(consumer, inp(channel, binding, body=freeze(x)))
+        )
+    return MarketWorkload(
+        sys_par(*components), producers, consumers, channel, payloads
+    )
+
+
+def fan_out(n_consumers: int) -> System:
+    """One producer sends a distinct value to each of ``n`` consumers.
+
+    All sends and receives are independent redexes — the widest possible
+    system for a given size, a stress shape for the redex enumerator.
+    """
+
+    producer = pr("p")
+    components = []
+    sends: list[Process] = []
+    x = var("x")
+    for index in range(n_consumers):
+        channel = ch(f"out{index}")
+        payload = ch(f"w{index}")
+        sends.append(out(channel, payload))
+        components.append(
+            located(pr(f"c{index}"), inp(channel, x, body=freeze(x)))
+        )
+    from repro.core.builder import par
+
+    components.insert(0, located(producer, par(*sends) if sends else nil()))
+    return sys_par(*components)

@@ -1,0 +1,76 @@
+"""Tests for auditing and blame analysis."""
+
+from repro.analysis.audit import (
+    RoutePolicy,
+    blame,
+    custody_chain,
+    involved_principals,
+    transfers,
+)
+from repro.core.builder import pr
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.lang import parse_provenance
+
+A, S, B, C = pr("a"), pr("s"), pr("b"), pr("c")
+
+FAULTY = parse_provenance("{c?{}; s!{}; s?{}; a!{}}")  # the paper's example
+
+
+class TestCustody:
+    def test_chain_is_oldest_first(self):
+        steps = [str(step) for step in custody_chain(FAULTY)]
+        assert steps == ["a sent", "s received", "s sent", "c received"]
+
+    def test_transfers_pair_send_with_receive(self):
+        assert transfers(FAULTY) == [(A, S), (S, C)]
+
+    def test_in_flight_send_yields_no_hop(self):
+        in_flight = parse_provenance("{s!{}; s?{}; a!{}}")
+        assert transfers(in_flight) == [(A, S)]
+
+    def test_involved_includes_channel_handlers(self):
+        nested = Provenance.of(
+            OutputEvent(A, Provenance.of(InputEvent(B, EMPTY)))
+        )
+        assert involved_principals(nested) == {A, B}
+
+    def test_empty_provenance_has_no_custody(self):
+        assert custody_chain(EMPTY) == []
+        assert transfers(EMPTY) == []
+
+
+class TestBlame:
+    INTENDED = RoutePolicy((A, S, B))
+
+    def test_paper_scenario_blames_the_bad_hop(self):
+        report = blame(FAULTY, self.INTENDED)
+        assert report.deviated
+        assert report.deviation_index == 1
+        assert report.suspects == {S, C}
+        assert report.involved == {A, S, C}
+
+    def test_correct_route_produces_clean_report(self):
+        good = parse_provenance("{b?{}; s!{}; s?{}; a!{}}")
+        report = blame(good, self.INTENDED)
+        assert not report.deviated
+        assert report.suspects == frozenset()
+
+    def test_stalled_route_suspects_last_holder(self):
+        stalled = parse_provenance("{s?{}; a!{}}")  # never left s
+        report = blame(stalled, self.INTENDED)
+        assert report.deviated
+        assert report.suspects == {S}
+
+    def test_overlong_route_flags_extra_hop(self):
+        extra = parse_provenance(
+            "{c?{}; b!{}; b?{}; s!{}; s?{}; a!{}}"
+        )  # a→s→b→c, one hop too many
+        report = blame(extra, self.INTENDED)
+        assert report.deviated
+        assert report.suspects == {B, C}
+
+    def test_wrong_first_hop(self):
+        hijacked = parse_provenance("{s?{}; b!{}}")  # b, not a, originated
+        report = blame(hijacked, self.INTENDED)
+        assert report.deviated
+        assert report.deviation_index == 0

@@ -1,0 +1,74 @@
+"""Tests for ``values(M)`` and the check reports (Definitions 3–4 plumbing)."""
+
+from repro.core.builder import ch, pr
+from repro.lang import parse_system
+from repro.logs.ast import Unknown
+from repro.monitor import MonitoredSystem, check_correctness, monitored_values
+
+A = pr("a")
+M, V = ch("m"), ch("v")
+
+
+class TestMonitoredValues:
+    def test_collects_message_payloads(self):
+        m = MonitoredSystem.start(parse_system("m<<v:{a!{}}>>"))
+        values = monitored_values(m)
+        assert len(values) == 1
+        term, provenance = values[0]
+        assert term == V and len(provenance) == 1
+
+    def test_collects_prefix_subjects(self):
+        m = MonitoredSystem.start(parse_system("a[m(x).0]"))
+        values = monitored_values(m)
+        assert (M, __import__("repro.core.provenance", fromlist=["EMPTY"]).EMPTY) in values
+
+    def test_collects_under_prefixes(self):
+        m = MonitoredSystem.start(parse_system("a[m(x).n<v>]"))
+        terms = {term for term, _ in monitored_values(m)}
+        assert {M, ch("n"), V} <= terms
+
+    def test_toplevel_restricted_names_stay_concrete(self):
+        m = MonitoredSystem.start(parse_system("(new s)(a[s<v>])"))
+        terms = {term for term, _ in monitored_values(m)}
+        assert ch("s") in terms
+        assert not any(isinstance(t, Unknown) for t in terms)
+
+    def test_guarded_restricted_names_become_unknown(self):
+        # the (νk) is under an input prefix: not hoisted, not log-visible
+        m = MonitoredSystem.start(parse_system("a[m(x).(new k)(k<v>)]"))
+        terms = [term for term, _ in monitored_values(m)]
+        assert any(isinstance(t, Unknown) for t in terms)
+        # ...but v itself stays concrete
+        assert V in terms
+
+    def test_variables_are_not_values(self):
+        m = MonitoredSystem.start(parse_system("a[m(x).n<x>]"))
+        terms = {str(term) for term, _ in monitored_values(m)}
+        assert "x" not in terms
+
+    def test_principal_values_collected(self):
+        m = MonitoredSystem.start(parse_system("a[m<b>] || b[k<v>]"))
+        terms = {term for term, _ in monitored_values(m)}
+        assert pr("b") in terms
+
+
+class TestReports:
+    def test_report_enumerates_every_value(self):
+        m = MonitoredSystem.start(parse_system("a[m<v>] || b[m(x).0]"))
+        report = check_correctness(m)
+        assert len(report) == len(monitored_values(m))
+        assert report.holds
+        assert report.failures == ()
+
+    def test_failures_carry_the_denotation(self):
+        m = MonitoredSystem.start(parse_system("m<<v:{b!{}}>>", principals={"b"}))
+        report = check_correctness(m)
+        assert not report.holds
+        failure = report.failures[0]
+        assert failure.value == V
+        assert "b.snd" in str(failure.denotation)
+
+    def test_report_iterates_checks(self):
+        m = MonitoredSystem.start(parse_system("a[m<v>]"))
+        report = check_correctness(m)
+        assert all(check.holds for check in report)

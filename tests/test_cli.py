@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+AUDIT = "a[m<v>] || s[m(x).n1<x>] || c[n1(x).keep<x>]"
+
+
+@pytest.fixture
+def system_file(tmp_path):
+    path = tmp_path / "system.pi"
+    path.write_text(AUDIT)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_trace_and_final(self, system_file, capsys):
+        assert main(["run", system_file]) == 0
+        out = capsys.readouterr().out
+        assert "quiescent" in out
+        assert "keep<<v:" in out
+
+    def test_run_erased_mode(self, system_file, capsys):
+        assert main(["run", system_file, "--erased"]) == 0
+        out = capsys.readouterr().out
+        assert "keep<<v>>" in out  # no provenance annotation
+
+    def test_strategy_and_budget_flags(self, system_file, capsys):
+        assert main(
+            ["run", system_file, "--strategy", "random", "--seed", "3",
+             "--max-steps", "2"]
+        ) == 0
+        assert "max-steps" in capsys.readouterr().out
+
+
+class TestExplore:
+    def test_reports_state_counts(self, system_file, capsys):
+        assert main(["explore", system_file]) == 0
+        out = capsys.readouterr().out
+        assert "states=" in out and "terminal=" in out
+
+
+class TestCheck:
+    def test_correct_system_exits_zero(self, system_file, capsys):
+        assert main(["check", system_file]) == 0
+        assert "correct provenance: True" in capsys.readouterr().out
+
+    def test_forged_system_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "forged.pi"
+        path.write_text("m<<v:{b!{}}>>")
+        assert main(["check", str(path), "--principal", "b"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestAnalyse:
+    def test_verdicts_printed(self, tmp_path, capsys):
+        path = tmp_path / "auth.pi"
+        path.write_text("a[m(c!any;any as x).0] || c[m<v1>] || e[m<v2>]")
+        assert main(["analyse", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "needed" in out
+
+
+class TestFmt:
+    def test_round_trips(self, system_file, capsys):
+        assert main(["fmt", system_file]) == 0
+        out = capsys.readouterr().out.strip()
+        from repro.lang import parse_system
+
+        assert parse_system(out) == parse_system(AUDIT)
+
+    def test_parse_error_is_clean(self, tmp_path, capsys):
+        path = tmp_path / "bad.pi"
+        path.write_text("a[<<]")
+        assert main(["fmt", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

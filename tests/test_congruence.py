@@ -1,0 +1,134 @@
+"""Tests for normalization, canonical forms and structural congruence."""
+
+from hypothesis import given, settings
+
+from repro.core.builder import (
+    ch,
+    inp,
+    located,
+    msg,
+    new,
+    nil,
+    out,
+    par,
+    pr,
+    rep,
+    sys_new,
+    sys_par,
+    var,
+)
+from repro.core.congruence import (
+    alpha_equivalent,
+    canonical,
+    normalize,
+    to_system,
+)
+from repro.core.system import Located, Message, system_free_channels
+from tests.conftest import systems
+
+A, B = pr("a"), pr("b")
+M, N, V = ch("m"), ch("n"), ch("v")
+X = var("x")
+
+
+class TestNormalization:
+    def test_located_parallel_splits(self):
+        nf = normalize(located(A, par(out(M, V), out(N, V))))
+        assert len(nf.components) == 2
+        assert all(isinstance(c, Located) for c in nf.components)
+
+    def test_located_inaction_dropped(self):
+        nf = normalize(sys_par(located(A, nil()), msg(M, V)))
+        assert len(nf.components) == 1
+        assert isinstance(nf.components[0], Message)
+
+    def test_process_restriction_extruded(self):
+        nf = normalize(located(A, new("k", out(ch("k"), V))))
+        assert len(nf.restricted) == 1
+        assert len(nf.components) == 1
+
+    def test_extrusion_renames_apart(self):
+        s = sys_par(
+            located(A, new("k", out(ch("k"), V))),
+            located(B, new("k", out(ch("k"), V))),
+        )
+        nf = normalize(s)
+        assert len(nf.restricted) == 2
+        assert len(set(nf.restricted)) == 2
+
+    def test_extrusion_avoids_capturing_free_names(self):
+        # b uses free k; a restricts its own k — they must stay distinct
+        s = sys_par(
+            located(A, new("k", out(ch("k"), V))),
+            located(B, out(ch("k"), V)),
+        )
+        nf = normalize(s)
+        assert ch("k") in system_free_channels(to_system(nf))
+
+    def test_replication_kept_as_thread(self):
+        from repro.core.process import Replication
+
+        nf = normalize(located(A, rep(out(M, V))))
+        assert isinstance(nf.components[0].process, Replication)
+
+    def test_restriction_under_replication_not_extruded(self):
+        nf = normalize(located(A, rep(new("k", out(ch("k"), V)))))
+        assert len(nf.restricted) == 0
+
+    def test_to_system_round_trip_is_congruent(self):
+        s = sys_new("n", sys_par(located(A, par(out(M, V), nil())), msg(N, V)))
+        assert alpha_equivalent(s, to_system(normalize(s)))
+
+
+class TestCanonical:
+    def test_reordering_components_is_congruent(self):
+        s1 = sys_par(located(A, out(M, V)), msg(N, V))
+        s2 = sys_par(msg(N, V), located(A, out(M, V)))
+        assert canonical(s1) == canonical(s2)
+        assert alpha_equivalent(s1, s2)
+
+    def test_alpha_renamed_restrictions_are_congruent(self):
+        s1 = sys_new("n", msg(ch("n"), V))
+        s2 = sys_new("k", msg(ch("k"), V))
+        assert canonical(s1) == canonical(s2)
+
+    def test_unused_restriction_garbage_collected(self):
+        s1 = sys_new("unused", msg(M, V))
+        s2 = msg(M, V)
+        assert canonical(s1) == canonical(s2)
+
+    def test_different_systems_not_identified(self):
+        s1 = located(A, out(M, V))
+        s2 = located(B, out(M, V))
+        assert canonical(s1) != canonical(s2)
+
+    def test_restricted_name_distinctions_preserved(self):
+        # (νn)(n⟨⟨n⟩⟩) vs (νn)(νk)(n⟨⟨k⟩⟩): not congruent
+        s1 = sys_new("n", msg(ch("n"), ch("n")))
+        s2 = sys_new("n", sys_new("k", msg(ch("n"), ch("k"))))
+        assert canonical(s1) != canonical(s2)
+
+    def test_user_channels_named_like_canonical_names_survive(self):
+        # a channel literally called _nu0 must not collide with renaming
+        s1 = sys_new("q", sys_par(msg(ch("_nu0"), V), msg(ch("q"), V)))
+        s2 = sys_new("q", sys_par(msg(ch("_nu0"), V), msg(ch("_nu0"), V)))
+        assert canonical(s1) != canonical(s2)
+
+
+class TestCongruenceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_normalize_round_trip(self, system):
+        assert alpha_equivalent(system, to_system(normalize(system)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_canonical_is_idempotent(self, system):
+        once = canonical(system)
+        twice = canonical(to_system(once))
+        assert once == twice
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_self_congruence(self, system):
+        assert alpha_equivalent(system, system)

@@ -1,0 +1,98 @@
+"""Theorem 1 (provenance correctness), machine-checked.
+
+Starting from a system whose values all carry empty provenance (hence
+vacuously correct under the empty log), every ``→m`` reduct must again
+have correct provenance: ``⟦V : κ⟧ ⪯ log(M)`` for every value.  We check
+the invariant at *every* state of monitored runs over random systems,
+random schedules and the paper's own examples — a counterexample to the
+theorem would surface here as a failing state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import RandomStrategy
+from repro.lang import parse_system
+from repro.monitor import MonitoredSystem, check_correctness, has_correct_provenance
+from repro.monitor.monitored import MonitoredEngine
+from repro.workloads.random_systems import GeneratorConfig, random_system
+
+SMALL = GeneratorConfig(
+    n_principals=3, n_channels=4, n_components=4, max_depth=3, n_messages=2
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_correctness_invariant_along_random_runs(system_seed, schedule_seed):
+    system = random_system(system_seed, SMALL)
+    engine = MonitoredEngine(strategy=RandomStrategy(schedule_seed), max_steps=12)
+    trace = engine.run(MonitoredSystem.start(system))
+    for state in trace.states():
+        report = check_correctness(state)
+        assert report.holds, (
+            f"correctness violated at log={state.log} "
+            f"failures={[str(f) for f in report.failures]}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_correctness_invariant_under_all_one_step_reducts(seed):
+    from repro.monitor.monitored import monitored_steps
+
+    system = random_system(seed, SMALL)
+    initial = MonitoredSystem.start(system)
+    assert has_correct_provenance(initial)
+    for step in monitored_steps(initial):
+        assert has_correct_provenance(step.target)
+
+
+PAPER_SYSTEMS = [
+    "a[n<v1>] || b[n<v2>] || c[n(x).0]",
+    "a[m<v>] || s[m(x).n1<x>] || c[n1(x).keep<x>] || b[n2(x).0]",
+    "a[m(c!any;any as x).0] || b[m(any;d!any as y).0] || c[m<v1>] || d[m<v2>]",
+    "(new n)(a[n<v>] || b[n(x).pub<x>]) || c[pub(y).0]",
+]
+
+
+def test_correctness_on_paper_examples():
+    for source in PAPER_SYSTEMS:
+        trace = MonitoredEngine(max_steps=40).run(
+            MonitoredSystem.start(parse_system(source))
+        )
+        for state in trace.states():
+            assert has_correct_provenance(state), source
+
+
+def test_correctness_on_competition():
+    from repro.core.engine import ProgressStrategy
+    from repro.workloads import competition
+
+    workload = competition(3, 2)
+    engine = MonitoredEngine(strategy=ProgressStrategy(), max_steps=30)
+    trace = engine.run(MonitoredSystem.start(workload.system))
+    for state in trace.states():
+        assert has_correct_provenance(state)
+
+
+def test_forged_provenance_is_detected_as_incorrect():
+    """The theorem's contrapositive in action: a value claiming a history
+    that never happened fails the correctness check."""
+
+    # message claims 'b sent it' but the log is empty
+    forged = parse_system("m<<v:{b!{}}>>")
+    assert not has_correct_provenance(MonitoredSystem.start(forged))
+
+
+def test_honest_initial_annotations_against_matching_log():
+    from repro.logs.ast import Action, ActionKind, EMPTY_LOG, LogAction
+    from repro.core.builder import ch, pr
+
+    system = parse_system("m<<v:{b!{}}>>", principals={"b"})
+    log = LogAction(
+        Action(ActionKind.SND, pr("b"), (ch("m"), ch("v"))), EMPTY_LOG
+    )
+    assert has_correct_provenance(MonitoredSystem(log, system))

@@ -1,0 +1,171 @@
+"""The paper's worked examples as executable assertions (E5–E8).
+
+Each test replays a §1/§2.3.2 example and checks the *exact* result the
+paper states — final provenances, routing decisions, reachable states.
+"""
+
+from repro.core import Engine, ProgressStrategy, explore, run
+from repro.core.names import Principal
+from repro.core.process import annotated_values
+from repro.core.system import located_components, messages_of
+from repro.lang import parse_provenance, parse_system, pretty_provenance
+from repro.workloads import (
+    all_contestants_served,
+    competition,
+    expected_entry_provenance,
+    expected_rating_provenance,
+    received_entry_provenance,
+    relay_chain,
+)
+
+
+class TestMarketExample:
+    """§1: a[n⟨v1⟩] ‖ b[n⟨v2⟩] ‖ c[n(x).P] — and its provenance-vetted fix."""
+
+    def test_unvetted_consumer_may_get_either_value(self):
+        lts = explore(parse_system("a[n<v1>] || b[n<v2>] || c[n(x).keep<x>]"))
+        consumed = set()
+        for state in lts.states:
+            for message in messages_of(state):
+                if message.channel.name == "keep":
+                    consumed.add(message.payload[0].value.name)
+        assert consumed == {"v1", "v2"}
+
+    def test_vetted_consumer_always_gets_a_value(self):
+        lts = explore(
+            parse_system("a[n<v1>] || b[n<v2>] || c[n(a!any as x).keep<x>]")
+        )
+        consumed = set()
+        for state in lts.states:
+            for message in messages_of(state):
+                if message.channel.name == "keep":
+                    consumed.add(message.payload[0].value.name)
+        assert consumed == {"v1"}
+
+
+class TestAuditingExample:
+    """§2.3.2: S →* c[P{v : c?ε; s!ε; s?ε; a!ε / x}] ‖ b[n''(x).Q]."""
+
+    def test_exact_final_provenance(self):
+        workload = relay_chain(1)
+        trace = run(workload.system)
+        held = [
+            value
+            for component in located_components(trace.final)
+            if component.principal == workload.consumer
+            for value in annotated_values(component.process)
+            if value.value == workload.payload
+        ]
+        assert len(held) == 1
+        assert pretty_provenance(held[0].provenance) == "{c?{}; s1!{}; s1?{}; a!{}}"
+
+    def test_involved_principals_match_papers_reading(self):
+        workload = relay_chain(1)
+        trace = run(workload.system)
+        held = [
+            value
+            for component in located_components(trace.final)
+            for value in annotated_values(component.process)
+            if value.value == workload.payload
+        ]
+        assert held[0].provenance.principals() == {
+            Principal("a"), Principal("s1"), Principal("c"),
+        }
+
+    def test_chain_provenance_length_is_two_per_hop_plus_two(self):
+        for n in (0, 1, 2, 5, 9):
+            workload = relay_chain(n)
+            trace = run(workload.system)
+            held = [
+                value
+                for component in located_components(trace.final)
+                for value in annotated_values(component.process)
+                if value.value == workload.payload
+            ]
+            assert len(held[0].provenance) == 2 * n + 2
+
+
+class TestCompetitionExample:
+    """§2.3.2: the final κei / κri / κ'ei / κ'ri formulas."""
+
+    def final_values(self, workload):
+        engine = Engine(strategy=ProgressStrategy(), max_steps=5_000)
+        trace = engine.run(
+            workload.system, stop_when=all_contestants_served(workload)
+        )
+        held = {}
+        for component in located_components(trace.final):
+            if component.principal in workload.contestants:
+                for value in annotated_values(component.process):
+                    if len(value.provenance) >= 2:
+                        held.setdefault(component.principal, []).append(value)
+        return held
+
+    def test_paper_instance_entry_provenances(self):
+        workload = competition(3, 2)
+        held = self.final_values(workload)
+        for index, contestant in enumerate(workload.contestants):
+            judge = workload.judge_of(index)
+            expected = received_entry_provenance(
+                contestant, judge, workload.organiser
+            )
+            assert any(
+                value.value == workload.entries[index]
+                and value.provenance == expected
+                for value in held[contestant]
+            ), f"{contestant} κ'ei mismatch"
+
+    def test_paper_instance_rating_provenances(self):
+        workload = competition(3, 2)
+        held = self.final_values(workload)
+        for index, contestant in enumerate(workload.contestants):
+            judge = workload.judge_of(index)
+            # κ'ri = ci?ε; o!ε; κri
+            expected_suffix = expected_rating_provenance(judge, workload.organiser)
+            rating = workload.ratings[workload.assignment[index]]
+            matching = [
+                value for value in held[contestant] if value.value == rating
+            ]
+            assert matching, f"{contestant} holds no rating"
+            assert matching[0].provenance.events[-2:] == expected_suffix.events
+
+    def test_routing_respects_assignment(self):
+        # c1 and c3's entries pass through j1, c2's through j2 — visible in
+        # the entry provenance's judge events
+        workload = competition(3, 2)
+        held = self.final_values(workload)
+        for index, contestant in enumerate(workload.contestants):
+            judge = workload.judge_of(index)
+            entry_value = next(
+                value for value in held[contestant]
+                if value.value == workload.entries[index]
+            )
+            assert judge in entry_value.provenance.principals()
+            other_judges = set(workload.judges) - {judge}
+            assert not (
+                other_judges & entry_value.provenance.principals()
+            )
+
+    def test_published_provenance_formula_helpers_agree_with_paper(self):
+        o, c1, j1 = Principal("o"), Principal("c1"), Principal("j1")
+        kei = expected_entry_provenance(c1, j1, o)
+        assert pretty_provenance(kei) == "{o?{}; j1!{}; j1?{}; o!{}; o?{}; c1!{}}"
+        kri = expected_rating_provenance(j1, o)
+        assert pretty_provenance(kri) == "{o?{}; j1!{}}"
+        kei_received = received_entry_provenance(c1, j1, o)
+        assert kei_received == parse_provenance(
+            "{c1?{}; o!{}; o?{}; j1!{}; j1?{}; o!{}; o?{}; c1!{}}"
+        )
+
+    def test_scaled_competitions_preserve_the_formulas(self):
+        for n_contestants, n_judges in ((4, 2), (5, 3)):
+            workload = competition(n_contestants, n_judges)
+            held = self.final_values(workload)
+            for index, contestant in enumerate(workload.contestants):
+                expected = received_entry_provenance(
+                    contestant, workload.judge_of(index), workload.organiser
+                )
+                assert any(
+                    value.provenance == expected
+                    for value in held[contestant]
+                )

@@ -1,0 +1,58 @@
+"""Tests for exhaustive state-space exploration."""
+
+from repro.core.explore import explore
+from repro.core.semantics import ReceiveLabel
+from repro.lang import parse_system, pretty_system
+
+
+class TestExplore:
+    def test_single_send_has_two_states(self):
+        lts = explore(parse_system("a[m<v>]"))
+        assert len(lts) == 2
+        assert lts.complete
+
+    def test_market_example_state_space(self):
+        # a[n<v1>] || b[n<v2>] || c[n(x).0]: sends commute, c picks either
+        lts = explore(parse_system("a[n<v1>] || b[n<v2>] || c[n(x).0]"))
+        assert lts.complete
+        # states: {}, {m1}, {m2}, {m1,m2}, {m1,m2}-recv1, ... exact count:
+        # send1/send2 interleave (4 combos collapse to 3 by canonical), then
+        # the consumer takes one of two values.
+        terminals = lts.terminal_states()
+        assert len(terminals) >= 2
+        finals = {pretty_system(lts.states[t]) for t in terminals}
+        assert any("v1" in f and "v2:{b!{}}" in f or "v2" in f for f in finals)
+
+    def test_canonicalization_merges_commuting_interleavings(self):
+        # two independent sends: 4 interleavings, 4 distinct state-sets
+        lts = explore(parse_system("a[m<v>] || b[n<w>]"))
+        assert len(lts) == 4  # {}, {m}, {n}, {m,n}
+
+    def test_invariant_check_finds_counterexample(self):
+        lts = explore(parse_system("a[m<v>] || b[m(x).0]"))
+        bad = lts.check_invariant(lambda s: "m<<" not in pretty_system(s))
+        assert bad is not None
+
+    def test_invariant_holds_everywhere(self):
+        lts = explore(parse_system("a[m<v>] || b[m(x).0]"))
+        assert lts.check_invariant(lambda s: True) is None
+
+    def test_find_and_path_to(self):
+        lts = explore(parse_system("a[m<v>] || b[m(x).keep<x>]"))
+        # the state where b holds the received value (bound into keep<v…>)
+        target = lts.find(lambda s: "keep<v" in pretty_system(s))
+        assert target is not None
+        path = lts.path_to(target)
+        assert path
+        assert path[0].source == 0
+        assert path[-1].target == target
+
+    def test_state_budget_reported_incomplete(self):
+        lts = explore(parse_system("a[*(m<v>)]"), max_states=5)
+        assert not lts.complete
+
+    def test_receive_edges_labelled(self):
+        lts = explore(parse_system("a[m<v>] || b[m(x).0]"))
+        assert any(
+            isinstance(t.label, ReceiveLabel) for t in lts.transitions
+        )

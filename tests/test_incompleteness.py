@@ -1,0 +1,77 @@
+"""Proposition 3: completeness is *not* preserved by reduction.
+
+We reproduce the paper's counterexample exactly, plus the "forgotten
+value" argument showing completeness is unachievable in general.
+"""
+
+from repro.lang import parse_system
+from repro.monitor import (
+    MonitoredSystem,
+    check_completeness,
+    has_complete_provenance,
+    has_correct_provenance,
+)
+from repro.monitor.monitored import MonitoredEngine, monitored_steps
+
+
+class TestPaperCounterexample:
+    """M = ∅ ▷ a[m⟨v⟩] ‖ b[m(x).P] — complete before, incomplete after."""
+
+    def initial(self):
+        return MonitoredSystem.start(parse_system("a[m<v>] || b[m(x).0]"))
+
+    def test_initial_system_is_complete(self):
+        # empty log, empty provenances: log(M) = ∅ ⪯ ⟦V : ε⟧ = ∅
+        assert has_complete_provenance(self.initial())
+
+    def test_one_send_destroys_completeness(self):
+        after_send = monitored_steps(self.initial())[0].target
+        assert not has_complete_provenance(after_send)
+
+    def test_the_culprit_is_a_value_with_empty_provenance(self):
+        # the paper pins it on m : ε — the receiver's channel value knows
+        # nothing, while the log now records the send
+        after_send = monitored_steps(self.initial())[0].target
+        report = check_completeness(after_send)
+        empty_failures = [
+            check for check in report.failures if check.provenance.is_empty
+        ]
+        assert empty_failures, "some ε-annotated value must fail"
+
+    def test_correctness_survives_where_completeness_dies(self):
+        after_send = monitored_steps(self.initial())[0].target
+        assert has_correct_provenance(after_send)
+        assert not has_complete_provenance(after_send)
+
+
+class TestForgottenValue:
+    """φ ▷ a[m(x).0] ‖ m⟨⟨v⟩⟩ ‖ S: after the receive, v is gone —
+    no value can ever attest to the actions that touched it."""
+
+    def test_value_dropped_by_inaction_leaves_unattested_history(self):
+        m = MonitoredSystem.start(parse_system("a[m<v>] || b[m(x).0]"))
+        trace = MonitoredEngine().run(m)
+        final = trace.final
+        # the system is empty of values, the log holds two actions
+        from repro.monitor.checker import monitored_values
+        from repro.logs.ast import log_size
+
+        assert log_size(final.log) == 2
+        assert monitored_values(final) == []
+        # vacuously complete (no values to check) — which is exactly why
+        # per-value completeness is the wrong notion: the history exists,
+        # but nobody carries it.
+        assert has_complete_provenance(final)
+
+
+class TestCompletenessIsFragileEverywhere:
+    def test_every_communicating_example_loses_completeness(self):
+        sources = [
+            "a[m<v>] || s[m(x).n1<x>] || c[n1(x).keep<x>]",
+            "a[n<v1>] || b[n<v2>] || c[n(x).0]",
+        ]
+        for source in sources:
+            m = MonitoredSystem.start(parse_system(source))
+            assert has_complete_provenance(m)
+            after = monitored_steps(m)[0].target
+            assert not has_complete_provenance(after), source

@@ -1,0 +1,175 @@
+"""Unit tests for the information order ``⪯`` — each rule, the paper's
+worked example, and the corner cases the decision procedure must get right."""
+
+from repro.core.builder import ch, pr, var
+from repro.logs.ast import (
+    Action,
+    ActionKind,
+    EMPTY_LOG,
+    LogAction,
+    LogPar,
+    Unknown,
+)
+from repro.logs.order import freshen_log, information_equivalent, log_leq
+
+A, B = pr("a"), pr("b")
+M, N, V, W = ch("m"), ch("n"), ch("v"), ch("w")
+X, Y = var("x"), var("y")
+
+
+def snd(principal, *operands):
+    return Action(ActionKind.SND, principal, operands)
+
+
+def rcv(principal, *operands):
+    return Action(ActionKind.RCV, principal, operands)
+
+
+def chain(*actions):
+    log = EMPTY_LOG
+    for action in reversed(actions):
+        log = LogAction(action, log)
+    return log
+
+
+class TestRules:
+    def test_leq_nil_empty_below_everything(self):
+        assert log_leq(EMPTY_LOG, EMPTY_LOG)
+        assert log_leq(EMPTY_LOG, chain(snd(A, M, V)))
+
+    def test_nothing_nonempty_below_empty(self):
+        assert not log_leq(chain(snd(A, M, V)), EMPTY_LOG)
+
+    def test_leq_pre1_exact_match(self):
+        assert log_leq(chain(snd(A, M, V)), chain(snd(A, M, V)))
+
+    def test_leq_pre1_requires_same_principal_kind_operands(self):
+        assert not log_leq(chain(snd(A, M, V)), chain(snd(B, M, V)))
+        assert not log_leq(chain(snd(A, M, V)), chain(rcv(A, M, V)))
+        assert not log_leq(chain(snd(A, M, V)), chain(snd(A, M, W)))
+
+    def test_leq_pre2_right_may_have_extra_recent_actions(self):
+        small = chain(snd(A, M, V))
+        big = chain(rcv(B, N, W), snd(A, M, V))
+        assert log_leq(small, big)
+
+    def test_order_of_actions_matters(self):
+        # φ says snd then (older) rcv; ψ records them the other way around
+        phi = chain(snd(A, M, V), rcv(A, N, W))
+        psi = chain(rcv(A, N, W), snd(A, M, V))
+        assert not log_leq(phi, psi)
+
+    def test_leq_comp1_both_halves_must_embed(self):
+        phi = LogPar((chain(snd(A, M, V)), chain(rcv(B, N, W))))
+        psi = chain(snd(A, M, V), rcv(B, N, W))
+        assert log_leq(phi, psi)
+        assert not log_leq(
+            LogPar((chain(snd(A, M, V)), chain(snd(B, M, V)))), psi
+        )
+
+    def test_comp1_is_nonlinear(self):
+        # both branches may reference the same recorded action
+        phi = LogPar((chain(snd(A, M, V)), chain(snd(A, M, V))))
+        psi = chain(snd(A, M, V))
+        assert log_leq(phi, psi)
+
+    def test_leq_comp2_choose_a_branch(self):
+        phi = chain(snd(A, M, V))
+        psi = LogPar((chain(rcv(B, N, W)), chain(snd(A, M, V))))
+        assert log_leq(phi, psi)
+
+    def test_branches_cannot_be_mixed_for_one_chain(self):
+        # φ needs both actions in ONE branch; ψ has them split
+        phi = chain(snd(A, M, V), rcv(B, N, W))
+        psi = LogPar((chain(snd(A, M, V)), chain(rcv(B, N, W))))
+        assert not log_leq(phi, psi)
+
+
+class TestVariables:
+    def test_paper_worked_example(self):
+        # φ = a.snd(x, v); a.rcv(n, x)   ψ = a.snd(m, v); a.rcv(n, m)
+        phi = chain(snd(A, X, V), rcv(A, N, X))
+        psi = chain(snd(A, M, V), rcv(A, N, M))
+        assert log_leq(phi, psi)
+        # ψ has concrete m where φ has a variable — ψ tells MORE, so
+        # ψ ⪯ φ must fail (φ cannot provide the m assertion).
+        assert not log_leq(psi, phi)
+
+    def test_variable_must_be_used_consistently(self):
+        # x matched to m in the head must stay m below
+        phi = chain(snd(A, X, V), rcv(A, N, X))
+        psi = chain(snd(A, M, V), rcv(A, N, W))
+        assert not log_leq(phi, psi)
+
+    def test_two_variables_may_map_to_same_value(self):
+        phi = LogPar((chain(snd(A, X, V)), chain(snd(A, Y, V))))
+        psi = chain(snd(A, M, V))
+        assert log_leq(phi, psi)
+
+    def test_ground_left_cannot_match_right_binder(self):
+        # ψ = a.snd(x, v) asserts only "sent on SOME channel": it carries
+        # strictly less information than φ = a.snd(m, v), so φ ⪯̸ ψ.
+        phi = chain(snd(A, M, V))
+        psi = chain(snd(A, X, V))
+        assert not log_leq(phi, psi)
+        assert log_leq(psi, phi)
+
+    def test_freed_right_variables_are_closed_by_sigma_prime(self):
+        # σ' may instantiate a right variable *below* its binder: here the
+        # left log only mentions the second action, whose channel on the
+        # right is the variable bound above.
+        phi = chain(rcv(A, N, M))
+        psi = chain(snd(A, X, V), rcv(A, N, X))
+        assert log_leq(phi, psi)
+
+    def test_shadowed_binders_handled_by_freshening(self):
+        # same variable name bound twice on the left
+        phi = chain(snd(A, X, V), snd(B, X, W))
+        psi = chain(snd(A, M, V), snd(B, N, W))
+        assert log_leq(phi, psi)
+
+    def test_freshen_log_renames_apart(self):
+        log = chain(snd(A, X, V), snd(B, X, W))
+        fresh = freshen_log(log, "_t")
+        binders = []
+        node = fresh
+        while isinstance(node, LogAction):
+            binders.append(node.action.operands[0])
+            node = node.child
+        assert len(set(binders)) == 2
+
+
+class TestUnknown:
+    def test_unknown_matches_any_channel(self):
+        phi = chain(snd(A, Unknown(), V))
+        psi = chain(snd(A, M, V))
+        assert log_leq(phi, psi)
+
+    def test_unknown_on_right_matches_too(self):
+        phi = chain(snd(A, M, V))
+        psi = chain(snd(A, Unknown(), V))
+        assert log_leq(phi, psi)
+
+    def test_unknown_does_not_leak_bindings(self):
+        # two ?s may stand for different names
+        phi = chain(snd(A, Unknown(), V), snd(B, Unknown(), W))
+        psi = chain(snd(A, M, V), snd(B, N, W))
+        assert log_leq(phi, psi)
+
+
+class TestEquivalence:
+    def test_duplicate_branches_are_equivalent(self):
+        single = chain(snd(A, M, V))
+        doubled = LogPar((single, single))
+        assert information_equivalent(single, doubled)
+
+    def test_commutativity_of_composition(self):
+        left = LogPar((chain(snd(A, M, V)), chain(rcv(B, N, W))))
+        right = LogPar((chain(rcv(B, N, W)), chain(snd(A, M, V))))
+        assert information_equivalent(left, right)
+
+    def test_strictly_more_information_is_not_equivalent(self):
+        small = chain(snd(A, M, V))
+        big = chain(rcv(B, N, W), snd(A, M, V))
+        assert log_leq(small, big)
+        assert not information_equivalent(small, big)

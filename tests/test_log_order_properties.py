@@ -1,0 +1,65 @@
+"""Property tests for Proposition 1: ``⪯`` is a partial order.
+
+Reflexivity and transitivity are checked on random closed logs.
+Antisymmetry holds on the quotient by mutual-⪯ *by construction* (the
+nonlinear LEQ-Comp1 rule makes syntactically distinct logs like ``α | α``
+and ``α`` mutually related, so syntactic antisymmetry is impossible —
+see the discussion in :mod:`repro.logs.order`); what we check is that
+mutual relation really is an equivalence compatible with the order.
+"""
+
+from hypothesis import given, settings
+
+from repro.logs.ast import EMPTY_LOG, LogAction, LogPar
+from repro.logs.order import information_equivalent, log_leq
+from tests.conftest import logs
+
+
+@settings(max_examples=150, deadline=None)
+@given(logs())
+def test_reflexive(log):
+    assert log_leq(log, log)
+
+
+@settings(max_examples=150, deadline=None)
+@given(logs())
+def test_empty_is_bottom(log):
+    assert log_leq(EMPTY_LOG, log)
+
+
+@settings(max_examples=100, deadline=None)
+@given(logs(max_actions=4), logs(max_actions=4), logs(max_actions=4))
+def test_transitive(log1, log2, log3):
+    if log_leq(log1, log2) and log_leq(log2, log3):
+        assert log_leq(log1, log3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(logs(max_actions=4))
+def test_prefixing_adds_information(log):
+    # φ ⪯ α; φ for any action α already in the log (or any action at all)
+    if isinstance(log, LogAction):
+        assert log_leq(log.child, log)
+
+
+@settings(max_examples=100, deadline=None)
+@given(logs(max_actions=4), logs(max_actions=4))
+def test_composition_is_join_like(log1, log2):
+    # each side embeds into the composition
+    composed = LogPar((log1, log2))
+    assert log_leq(log1, composed)
+    assert log_leq(log2, composed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(logs(max_actions=3), logs(max_actions=3))
+def test_mutual_relation_is_symmetric_equivalence(log1, log2):
+    assert information_equivalent(log1, log2) == information_equivalent(
+        log2, log1
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(logs(max_actions=4))
+def test_duplication_is_informationless(log):
+    assert information_equivalent(log, LogPar((log, log)))

@@ -1,0 +1,124 @@
+"""Tests for log ASTs, binding, and the denotation of provenance."""
+
+from repro.core.builder import ch, pr, var
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.logs.ast import (
+    Action,
+    ActionKind,
+    EMPTY_LOG,
+    LogAction,
+    LogPar,
+    Unknown,
+    log_actions,
+    log_free_variables,
+    log_par,
+    log_size,
+)
+from repro.logs.denotation import FreshVariables, denote
+
+A, B = pr("a"), pr("b")
+M, N, V = ch("m"), ch("n"), ch("v")
+X = var("x")
+
+
+def snd(principal, *operands):
+    return Action(ActionKind.SND, principal, operands)
+
+
+def rcv(principal, *operands):
+    return Action(ActionKind.RCV, principal, operands)
+
+
+class TestLogAst:
+    def test_log_par_flattens_and_drops_empty(self):
+        inner = LogAction(snd(A, M, V), EMPTY_LOG)
+        log = log_par(EMPTY_LOG, LogPar((inner,)), EMPTY_LOG)
+        assert log == inner
+
+    def test_log_size_counts_all_actions(self):
+        log = LogAction(
+            snd(A, M, V), log_par(LogAction(rcv(B, M, V), EMPTY_LOG),
+                                  LogAction(snd(B, N, V), EMPTY_LOG))
+        )
+        assert log_size(log) == 3
+        assert len(list(log_actions(log))) == 3
+
+    def test_binding_variable_is_channel_position_of_snd_rcv(self):
+        assert snd(A, X, V).binding_variable == X
+        assert snd(A, M, X).binding_variable is None
+        assert Action(ActionKind.IFT, A, (X, V)).binding_variable is None
+
+    def test_free_variables_respect_binders(self):
+        # a.snd(x, v); a.rcv(n, x): x is bound
+        log = LogAction(snd(A, X, V), LogAction(rcv(A, N, X), EMPTY_LOG))
+        assert log_free_variables(log) == frozenset()
+
+    def test_value_position_variables_are_free(self):
+        log = LogAction(rcv(A, N, X), EMPTY_LOG)
+        assert log_free_variables(log) == {X}
+
+    def test_parallel_branches_do_not_bind_each_other(self):
+        binder = LogAction(snd(A, X, V), EMPTY_LOG)
+        user = LogAction(rcv(A, N, X), EMPTY_LOG)
+        assert log_free_variables(LogPar((binder, user))) == {X}
+
+
+class TestDenotation:
+    def test_empty_provenance_denotes_empty_log(self):
+        assert denote(V, EMPTY) == EMPTY_LOG
+
+    def test_single_output_event(self):
+        k = Provenance.of(OutputEvent(A, EMPTY))
+        log = denote(V, k, FreshVariables())
+        assert isinstance(log, LogAction)
+        action = log.action
+        assert action.kind is ActionKind.SND
+        assert action.principal == A
+        # channel is a fresh variable, value is v
+        assert action.binding_variable is not None
+        assert action.operands[1] == V
+        assert log.child == EMPTY_LOG
+
+    def test_input_event_denotes_rcv(self):
+        k = Provenance.of(InputEvent(B, EMPTY))
+        log = denote(V, k)
+        assert log.action.kind is ActionKind.RCV
+
+    def test_sequence_nests_chronologically(self):
+        # v : a?ε; b!ε  — received by a after being sent by b
+        k = Provenance.of(InputEvent(A, EMPTY), OutputEvent(B, EMPTY))
+        log = denote(V, k)
+        assert log.action.principal == A
+        assert log.child.action.principal == B
+
+    def test_channel_provenance_denoted_in_parallel(self):
+        # v : a!(b!ε)  — the channel a used has its own past
+        km = Provenance.of(OutputEvent(B, EMPTY))
+        k = Provenance.of(OutputEvent(A, km))
+        log = denote(V, k)
+        channel_variable = log.action.binding_variable
+        # below the head: ⟦v : ε⟧ | ⟦x : κm⟧ = ⟦x : κm⟧ after unit-dropping
+        child = log.child
+        assert isinstance(child, LogAction)
+        assert child.action.principal == B
+        assert child.action.operands[1] == channel_variable
+
+    def test_denotation_is_closed(self):
+        k = Provenance.of(
+            InputEvent(A, Provenance.of(OutputEvent(B, EMPTY))),
+            OutputEvent(B, EMPTY),
+        )
+        log = denote(V, k)
+        assert log_free_variables(log) == frozenset()
+
+    def test_unknown_value_supported(self):
+        k = Provenance.of(OutputEvent(A, EMPTY))
+        log = denote(Unknown(), k)
+        assert isinstance(log.action.operands[1], Unknown)
+
+    def test_fresh_variables_never_collide(self):
+        fresh = FreshVariables()
+        k = Provenance.of(OutputEvent(A, EMPTY))
+        log1 = denote(V, k, fresh)
+        log2 = denote(V, k, fresh)
+        assert log1.action.binding_variable != log2.action.binding_variable

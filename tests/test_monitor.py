@@ -1,0 +1,108 @@
+"""Tests for monitored systems: ``→m``, the global log, and Proposition 2."""
+
+from hypothesis import given, settings
+
+from repro.core.builder import ch, pr
+from repro.core.congruence import alpha_equivalent
+from repro.core.semantics import enumerate_steps
+from repro.lang import parse_system
+from repro.logs.ast import ActionKind, EMPTY_LOG, LogAction, log_size
+from repro.monitor import (
+    MonitoredSystem,
+    erase,
+    monitored_steps,
+)
+from repro.monitor.monitored import MonitoredEngine
+from tests.conftest import systems
+
+A = pr("a")
+M, V = ch("m"), ch("v")
+
+
+class TestMonitoredReduction:
+    def test_send_recorded_as_snd_action(self):
+        m = MonitoredSystem.start(parse_system("a[m<v>]"))
+        steps = monitored_steps(m)
+        assert len(steps) == 1
+        action = steps[0].action
+        assert action.kind is ActionKind.SND
+        assert action.principal == A
+        assert action.operands == (M, V)
+
+    def test_receive_recorded_as_rcv_action(self):
+        m = MonitoredSystem.start(parse_system("m<<v>> || a[m(x).0]"))
+        steps = monitored_steps(m)
+        assert steps[0].action.kind is ActionKind.RCV
+
+    def test_if_actions_record_operands(self):
+        m = MonitoredSystem.start(parse_system("a[if v = v then 0 else 0]"))
+        action = monitored_steps(m)[0].action
+        assert action.kind is ActionKind.IFT
+        assert action.operands == (V, V)
+
+        m2 = MonitoredSystem.start(parse_system("a[if v = w then 0 else 0]"))
+        assert monitored_steps(m2)[0].action.kind is ActionKind.IFF
+
+    def test_new_action_becomes_log_root(self):
+        m = MonitoredSystem.start(parse_system("a[m<v>] || b[m(x).0]"))
+        trace = MonitoredEngine().run(m)
+        log = trace.final.log
+        assert isinstance(log, LogAction)
+        # most recent action (the receive) is at the root
+        assert log.action.kind is ActionKind.RCV
+        assert log.child.action.kind is ActionKind.SND
+
+    def test_log_grows_by_one_per_step(self):
+        m = MonitoredSystem.start(
+            parse_system("a[m<v>] || s[m(x).n<x>] || c[n(x).0]")
+        )
+        trace = MonitoredEngine().run(m)
+        for index, state in enumerate(trace.states()):
+            assert log_size(state.log) == index
+
+    def test_monitored_run_counts_match_plain_run(self):
+        from repro.core.engine import run
+
+        system = parse_system("a[m<v>] || s[m(x).n<x>] || c[n(x).0]")
+        plain = run(system)
+        monitored = MonitoredEngine().run(MonitoredSystem.start(system))
+        assert len(plain) == len(monitored)
+
+
+class TestErasure:
+    """Proposition 2: ``→m`` and ``→`` simulate each other via erasure."""
+
+    def test_erase_forgets_only_the_log(self):
+        system = parse_system("a[m<v>]")
+        assert erase(MonitoredSystem.start(system)) == system
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_monitored_steps_project_to_plain_steps(self, system):
+        monitored = MonitoredSystem.start(system)
+        plain_targets = [step.target for step in enumerate_steps(system)]
+        for mstep in monitored_steps(monitored):
+            assert any(
+                alpha_equivalent(erase(mstep.target), target)
+                for target in plain_targets
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_plain_steps_lift_to_monitored_steps(self, system):
+        monitored = MonitoredSystem.start(system)
+        monitored_targets = [
+            erase(mstep.target) for mstep in monitored_steps(monitored)
+        ]
+        for step in enumerate_steps(system):
+            assert any(
+                alpha_equivalent(step.target, target)
+                for target in monitored_targets
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_step_counts_agree(self, system):
+        assert len(enumerate_steps(system)) == len(
+            monitored_steps(MonitoredSystem.start(system))
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for names: sorts, validation, freshness."""
+
+import pytest
+
+from repro.core.names import Channel, NameSupply, Principal, Variable, freshen
+
+
+class TestNameSorts:
+    def test_channel_equality_is_by_name(self):
+        assert Channel("m") == Channel("m")
+        assert Channel("m") != Channel("n")
+
+    def test_sorts_are_disjoint(self):
+        assert Channel("a") != Principal("a")
+        assert Principal("a") != Variable("a")
+        assert Channel("a") != Variable("a")
+
+    def test_names_are_hashable_and_usable_in_sets(self):
+        names = {Channel("m"), Channel("m"), Principal("m")}
+        assert len(names) == 2
+
+    def test_str_is_the_bare_name(self):
+        assert str(Channel("ch0")) == "ch0"
+        assert str(Principal("alice")) == "alice"
+        assert str(Variable("x")) == "x"
+
+    @pytest.mark.parametrize("bad", ["", "1abc", "a b", "a-b", "a.b", None])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            Channel(bad)
+
+    def test_primes_and_underscores_allowed(self):
+        assert Channel("n'1").name == "n'1"
+        assert Variable("_x0").name == "_x0"
+
+
+class TestFreshen:
+    def test_unused_base_is_returned_verbatim(self):
+        assert freshen("n", {"m", "k"}) == "n"
+
+    def test_collision_appends_primed_counter(self):
+        assert freshen("n", {"n"}) == "n'1"
+        assert freshen("n", {"n", "n'1"}) == "n'2"
+
+    def test_freshening_a_primed_name_reuses_the_stem(self):
+        assert freshen("n'3", {"n'3"}) == "n'1"
+        assert freshen("n'3", {"n'3", "n'1", "n'2"}) == "n'4"
+
+
+class TestNameSupply:
+    def test_fresh_names_never_collide(self):
+        supply = NameSupply(["n"])
+        produced = {supply.fresh("n") for _ in range(50)}
+        assert len(produced) == 50
+        assert "n" not in produced
+
+    def test_reserved_names_are_avoided(self):
+        supply = NameSupply()
+        supply.reserve(["x", "x'1"])
+        assert supply.fresh("x") == "x'2"
+
+    def test_fresh_channel_and_variable_build_proper_sorts(self):
+        supply = NameSupply(["m"])
+        assert isinstance(supply.fresh_channel("m"), Channel)
+        assert isinstance(supply.fresh_variable("x"), Variable)
+
+    def test_fresh_channel_accepts_channel_base(self):
+        supply = NameSupply(["m"])
+        fresh = supply.fresh_channel(Channel("m"))
+        assert fresh.name == "m'1"
+
+    def test_contains_tracks_reservations(self):
+        supply = NameSupply()
+        supply.fresh("a")
+        assert "a" in supply
+        assert "b" not in supply

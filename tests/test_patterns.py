@@ -1,0 +1,205 @@
+"""Tests for the sample pattern language: groups, rules, both matchers.
+
+Every inference rule of Table 3 gets dedicated cases, run through *both*
+the naive reference matcher and the compiled NFA matcher (parametrized),
+plus pattern-language-level behaviours (paper's example patterns).
+"""
+
+import pytest
+
+from repro.core.builder import pr
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.patterns.ast import (
+    Alternation,
+    AnyPattern,
+    Empty,
+    EventPattern,
+    GroupAll,
+    GroupDifference,
+    GroupSingle,
+    GroupUnion,
+    Repetition,
+    Sequence,
+    alt,
+    received_by,
+    sent_by,
+    seq,
+)
+from repro.patterns.naive import naive_matches
+from repro.patterns.nfa import NFAMatcher
+from repro.patterns.parse import parse_pattern
+
+A, B, C, D = pr("a"), pr("b"), pr("c"), pr("d")
+
+
+def snd(principal, inner=EMPTY):
+    return OutputEvent(principal, inner)
+
+
+def rcv(principal, inner=EMPTY):
+    return InputEvent(principal, inner)
+
+
+MATCHERS = [
+    pytest.param(naive_matches, id="naive"),
+    pytest.param(lambda k, p: NFAMatcher().matches(k, p), id="nfa"),
+]
+
+
+class TestGroups:
+    def test_singleton(self):
+        g = GroupSingle(A)
+        assert g.contains(A) and not g.contains(B)
+
+    def test_all(self):
+        assert GroupAll().contains(A)
+
+    def test_union(self):
+        g = GroupUnion(GroupSingle(A), GroupSingle(B))
+        assert g.contains(A) and g.contains(B) and not g.contains(C)
+
+    def test_difference_gives_cofinite_groups(self):
+        g = GroupDifference(GroupAll(), GroupSingle(A))
+        assert not g.contains(A) and g.contains(B)
+
+    def test_mentioned_collects_names(self):
+        g = GroupDifference(GroupUnion(GroupSingle(A), GroupAll()), GroupSingle(B))
+        assert g.mentioned() == {A, B}
+
+
+@pytest.mark.parametrize("matches", MATCHERS)
+class TestRules:
+    def test_s_empty(self, matches):
+        assert matches(EMPTY, Empty())
+        assert not matches(Provenance.of(snd(A)), Empty())
+
+    def test_s_any(self, matches):
+        assert matches(EMPTY, AnyPattern())
+        assert matches(Provenance.of(snd(A), rcv(B)), AnyPattern())
+
+    def test_s_send_polarity_and_group(self, matches):
+        p = sent_by(A, Empty())
+        assert matches(Provenance.of(snd(A)), p)
+        assert not matches(Provenance.of(rcv(A)), p)
+        assert not matches(Provenance.of(snd(B)), p)
+
+    def test_s_send_checks_channel_provenance_recursively(self, matches):
+        p = EventPattern("!", GroupSingle(A), sent_by(B, AnyPattern()))
+        good = Provenance.of(snd(A, Provenance.of(snd(B))))
+        bad = Provenance.of(snd(A, Provenance.of(snd(C))))
+        assert matches(good, p)
+        assert not matches(bad, p)
+
+    def test_s_recv(self, matches):
+        p = received_by(A, AnyPattern())
+        assert matches(Provenance.of(rcv(A)), p)
+        assert not matches(Provenance.of(snd(A)), p)
+
+    def test_event_pattern_matches_exactly_one_event(self, matches):
+        p = sent_by(A, AnyPattern())
+        assert not matches(EMPTY, p)
+        assert not matches(Provenance.of(snd(A), snd(A)), p)
+
+    def test_s_cat_splits(self, matches):
+        p = Sequence(sent_by(A), received_by(B))
+        assert matches(Provenance.of(snd(A), rcv(B)), p)
+        assert not matches(Provenance.of(rcv(B), snd(A)), p)
+
+    def test_s_cat_allows_empty_side(self, matches):
+        p = Sequence(Empty(), sent_by(A))
+        assert matches(Provenance.of(snd(A)), p)
+
+    def test_s_alt(self, matches):
+        p = Alternation(sent_by(A), sent_by(B))
+        assert matches(Provenance.of(snd(A)), p)
+        assert matches(Provenance.of(snd(B)), p)
+        assert not matches(Provenance.of(snd(C)), p)
+
+    def test_s_rep_zero_or_more(self, matches):
+        p = Repetition(sent_by(GroupAll()))
+        assert matches(EMPTY, p)
+        assert matches(Provenance.of(snd(A)), p)
+        assert matches(Provenance.of(snd(A), snd(B), snd(C)), p)
+        assert not matches(Provenance.of(rcv(A)), p)
+
+    def test_s_rep_of_multi_event_chunks(self, matches):
+        hop = Sequence(received_by(GroupAll()), sent_by(GroupAll()))
+        p = Repetition(hop)
+        two_hops = Provenance.of(rcv(A), snd(A), rcv(B), snd(B))
+        assert matches(two_hops, p)
+        assert not matches(Provenance.of(rcv(A), snd(A), rcv(B)), p)
+
+
+@pytest.mark.parametrize("matches", MATCHERS)
+class TestPaperPatterns:
+    def test_direct_sender(self, matches):
+        # c!Any; Any — received data most recently sent by c
+        p = parse_pattern("c!any;any")
+        assert matches(Provenance.of(snd(C), snd(A), rcv(B)), p)
+        assert not matches(Provenance.of(snd(A), snd(C)), p)
+
+    def test_originated_at(self, matches):
+        # Any; d!Any — the oldest event is a send by d
+        p = parse_pattern("any;d!any")
+        assert matches(Provenance.of(snd(A), rcv(B), snd(D)), p)
+        assert not matches(Provenance.of(snd(D), snd(A)), p)
+
+    def test_contestant_routing(self, matches):
+        # (c1+c3)!Any; Any routes entries from c1 or c3
+        p = parse_pattern("(c1+c3)!any;any")
+        c1, c3 = pr("c1"), pr("c3")
+        assert matches(Provenance.of(snd(c1)), p)
+        assert matches(Provenance.of(snd(c3)), p)
+        assert not matches(Provenance.of(snd(B)), p)
+
+    def test_everyone_but(self, matches):
+        p = parse_pattern("(~-o)?any")
+        o = pr("o")
+        assert matches(Provenance.of(rcv(A)), p)
+        assert not matches(Provenance.of(rcv(o)), p)
+
+
+class TestNFAInternals:
+    def test_caches_grow_and_clear(self):
+        matcher = NFAMatcher(cache_limit=16)
+        for principal in (A, B, C):
+            matcher.matches(Provenance.of(snd(principal)), sent_by(principal))
+        compiled, decided = matcher.cache_sizes()
+        # three event patterns plus the shared nested AnyPattern
+        assert compiled == 4 and decided >= 3
+        matcher.clear()
+        assert matcher.cache_sizes() == (0, 0)
+
+    def test_default_pattern_matches_delegates_to_nfa(self):
+        p = sent_by(A)
+        assert p.matches(Provenance.of(snd(A)))
+        assert not p.matches(Provenance.of(snd(B)))
+
+    def test_pathological_star_nesting_is_fast(self):
+        # (any*)* over a long sequence: exponential for naive splits on
+        # sequences, linear for the NFA.
+        p = Repetition(Repetition(sent_by(GroupAll())))
+        k = Provenance.of(*[snd(A)] * 64)
+        assert NFAMatcher().matches(k, p)
+
+
+class TestConstructors:
+    def test_seq_right_nests(self):
+        p = seq(sent_by(A), sent_by(B), sent_by(C))
+        assert isinstance(p, Sequence)
+        assert isinstance(p.right, Sequence)
+
+    def test_seq_of_nothing_is_empty(self):
+        assert seq() == Empty()
+
+    def test_alt_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            alt()
+
+    def test_event_pattern_validates_direction(self):
+        with pytest.raises(ValueError):
+            EventPattern("x", GroupSingle(A), AnyPattern())
+
+    def test_mentioned_principals_recurse(self):
+        p = Sequence(sent_by(A, received_by(B)), sent_by(C))
+        assert p.mentioned_principals() == {A, B, C}

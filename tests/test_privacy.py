@@ -1,0 +1,105 @@
+"""Tests for disclosure policies, including ⪯-monotonicity of redaction."""
+
+from hypothesis import given, settings
+
+from repro.analysis.privacy import Disclosure, DisclosurePolicy
+from repro.core.builder import ch, pr
+from repro.lang import parse_provenance
+from repro.logs.denotation import FreshVariables, denote
+from repro.logs.order import log_leq
+from tests.conftest import provenances
+
+A, B, S = pr("p0"), pr("p1"), pr("s")
+V = ch("v")
+
+CHAIN = parse_provenance("{c?{}; s!{a!{}}; s?{}; a!{}}")
+
+
+class TestRedaction:
+    def test_full_is_identity(self):
+        assert DisclosurePolicy().redact(CHAIN) == CHAIN
+
+    def test_drop_removes_the_principals_events(self):
+        policy = DisclosurePolicy({S: Disclosure.DROP})
+        redacted = policy.redact(CHAIN)
+        assert S not in redacted.principals()
+        assert len(redacted) == 2
+
+    def test_hide_channels_blanks_nested_provenance(self):
+        policy = DisclosurePolicy({S: Disclosure.HIDE_CHANNELS})
+        redacted = policy.redact(CHAIN)
+        s_events = [e for e in redacted.events if e.principal == S]
+        assert s_events and all(
+            e.channel_provenance.is_empty for e in s_events
+        )
+
+    def test_anonymize_uses_stable_pseudonyms(self):
+        policy = DisclosurePolicy({S: Disclosure.ANONYMIZE})
+        first = policy.redact(CHAIN)
+        second = policy.redact(CHAIN)
+        assert first == second
+        assert S not in first.principals()
+        assert any(p.name.startswith("anon") for p in first.principals())
+
+    def test_redaction_recurses_into_channel_provenance(self):
+        policy = DisclosurePolicy({pr("a"): Disclosure.DROP})
+        redacted = policy.redact(CHAIN)
+        assert pr("a") not in redacted.principals()
+
+    def test_redact_value_keeps_plain_part(self):
+        from repro.core.values import annotate
+
+        policy = DisclosurePolicy({S: Disclosure.DROP})
+        value = policy.redact_value(annotate(V, CHAIN))
+        assert value.value == V
+
+    def test_monotonicity_classification(self):
+        assert DisclosurePolicy({S: Disclosure.DROP}).is_information_monotone()
+        assert DisclosurePolicy(
+            {S: Disclosure.HIDE_CHANNELS}
+        ).is_information_monotone()
+        assert not DisclosurePolicy(
+            {S: Disclosure.ANONYMIZE}
+        ).is_information_monotone()
+
+
+class TestMonotonicityProperty:
+    """Monotone redactions only remove assertions:
+    ⟦V : redact(κ)⟧ ⪯ ⟦V : κ⟧."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(provenances(max_length=4, max_depth=1))
+    def test_drop_is_information_monotone(self, provenance):
+        policy = DisclosurePolicy({A: Disclosure.DROP})
+        fresh = FreshVariables()
+        assert log_leq(
+            denote(V, policy.redact(provenance), fresh),
+            denote(V, provenance, fresh),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(provenances(max_length=4, max_depth=2))
+    def test_hide_channels_is_information_monotone(self, provenance):
+        policy = DisclosurePolicy({A: Disclosure.HIDE_CHANNELS})
+        fresh = FreshVariables()
+        assert log_leq(
+            denote(V, policy.redact(provenance), fresh),
+            denote(V, provenance, fresh),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(provenances(max_length=4, max_depth=1))
+    def test_drop_everything_reaches_bottom(self, provenance):
+        policy = DisclosurePolicy(default=Disclosure.DROP)
+        assert policy.redact(provenance).is_empty
+
+    def test_anonymize_is_not_monotone(self):
+        # a concrete witness: the anonymized event asserts a send by a
+        # pseudonym, which the original never claimed
+        provenance = parse_provenance("{s!{}}")
+        policy = DisclosurePolicy({S: Disclosure.ANONYMIZE})
+        fresh = FreshVariables()
+        assert not log_leq(
+            denote(V, policy.redact(provenance), fresh),
+            denote(V, provenance, fresh),
+        )

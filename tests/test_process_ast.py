@@ -1,0 +1,118 @@
+"""Unit tests for the process AST: well-formedness and structural queries."""
+
+import pytest
+
+from repro.core.builder import branch, ch, choice, inp, match, new, out, par, pr, rep, var
+from repro.core.errors import IllFormedTermError, PatternArityError
+from repro.core.patterns import MatchAll
+from repro.core.process import (
+    Inaction,
+    InputBranch,
+    InputSum,
+    Parallel,
+    annotated_values,
+    free_channels,
+    free_variables,
+    parallel,
+    process_size,
+)
+
+M, N, V = ch("m"), ch("n"), ch("v")
+X, Y = var("x"), var("y")
+
+
+class TestWellFormedness:
+    def test_pattern_arity_must_match_binders(self):
+        with pytest.raises(PatternArityError):
+            InputBranch((MatchAll(),), (X, Y), Inaction())
+
+    def test_duplicate_binders_rejected(self):
+        with pytest.raises(IllFormedTermError):
+            InputBranch((MatchAll(), MatchAll()), (X, X), Inaction())
+
+    def test_empty_input_sum_rejected(self):
+        from repro.core.values import annotate
+
+        with pytest.raises(IllFormedTermError):
+            InputSum(annotate(M), ())
+
+    def test_choice_requires_same_channel_by_construction(self):
+        sum_ = choice(M, branch(X), branch((MatchAll(), Y)))
+        assert len(sum_.branches) == 2
+
+
+class TestSmartParallel:
+    def test_flattens_nested_parallels(self):
+        p = par(par(out(M, V), out(N, V)), out(M, V))
+        assert isinstance(p, Parallel)
+        assert len(p.parts) == 3
+
+    def test_drops_inaction_units(self):
+        assert par(Inaction(), out(M, V), Inaction()) == out(M, V)
+
+    def test_empty_parallel_is_inaction(self):
+        assert par() == Inaction()
+        assert parallel(Inaction(), Inaction()) == Inaction()
+
+
+class TestFreeVariables:
+    def test_output_variables_are_free(self):
+        assert free_variables(out(X, Y)) == {X, Y}
+
+    def test_input_binders_bind_in_continuation(self):
+        p = inp(M, X, body=out(N, X))
+        assert free_variables(p) == frozenset()
+
+    def test_input_subject_variable_is_free(self):
+        p = inp(X, Y, body=out(N, Y))
+        assert free_variables(p) == {X}
+
+    def test_binder_does_not_capture_sibling_branch(self):
+        sum_ = choice(M, branch(X, body=out(N, X)), branch(Y, body=out(N, X)))
+        assert free_variables(sum_) == {X}
+
+    def test_match_collects_all_positions(self):
+        p = match(X, Y, out(M, X), out(N, Y))
+        assert free_variables(p) == {X, Y}
+
+    def test_restriction_does_not_bind_variables(self):
+        assert free_variables(new("k", out(M, X))) == {X}
+
+
+class TestFreeChannels:
+    def test_restriction_binds(self):
+        assert free_channels(new("m", out(M, V))) == {V}
+
+    def test_inner_restriction_shadows(self):
+        p = par(out(M, V), new("m", out(M, N)))
+        assert free_channels(p) == {M, V, N}
+
+    def test_replication_is_transparent(self):
+        assert free_channels(rep(out(M, V))) == {M, V}
+
+    def test_input_subject_and_continuations_count(self):
+        p = inp(M, X, body=out(N, X))
+        assert free_channels(p) == {M, N}
+
+
+class TestStructuralQueries:
+    def test_process_size_counts_constructors(self):
+        p = par(out(M, V), inp(N, X, body=Inaction()))
+        # parallel + output + input-sum + inaction
+        assert process_size(p) == 4
+
+    def test_annotated_values_reach_under_prefixes(self):
+        from repro.core.values import annotate
+
+        p = inp(M, X, body=out(N, V))
+        values = list(annotated_values(p))
+        assert annotate(M) in values
+        assert annotate(N) in values
+        assert annotate(V) in values
+
+    def test_annotated_values_skip_variables(self):
+        from repro.core.values import annotate
+
+        p = inp(M, X, body=out(X, X))
+        values = list(annotated_values(p))
+        assert values == [annotate(M)]  # the variables contribute nothing

@@ -1,0 +1,110 @@
+"""Unit and property tests for provenance sequences."""
+
+from hypothesis import given
+
+from repro.core.builder import pr
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from tests.conftest import provenances
+
+A, B, C = pr("a"), pr("b"), pr("c")
+
+
+def ev_out(principal, inner=EMPTY):
+    return OutputEvent(principal, inner)
+
+
+def ev_in(principal, inner=EMPTY):
+    return InputEvent(principal, inner)
+
+
+class TestConstruction:
+    def test_empty_is_falsy_and_lengthless(self):
+        assert EMPTY.is_empty
+        assert not EMPTY
+        assert len(EMPTY) == 0
+
+    def test_of_orders_most_recent_first(self):
+        k = Provenance.of(ev_out(A), ev_in(B))
+        assert k.head == ev_out(A)
+        assert k.tail == Provenance.of(ev_in(B))
+
+    def test_cons_prepends(self):
+        k = EMPTY.cons(ev_out(A)).cons(ev_in(B))
+        assert k.events == (ev_in(B), ev_out(A))
+
+    def test_concat_keeps_left_recent(self):
+        left = Provenance.of(ev_out(A))
+        right = Provenance.of(ev_in(B))
+        assert left.concat(right).events == (ev_out(A), ev_in(B))
+
+    def test_equality_is_structural(self):
+        assert Provenance.of(ev_out(A)) == Provenance.of(ev_out(A))
+        assert Provenance.of(ev_out(A)) != Provenance.of(ev_in(A))
+
+
+class TestObservation:
+    def test_principals_reach_nested_channel_provenance(self):
+        nested = Provenance.of(ev_out(C))
+        k = Provenance.of(ev_out(A, nested), ev_in(B))
+        assert k.principals() == {A, B, C}
+
+    def test_total_events_counts_nested(self):
+        nested = Provenance.of(ev_out(C))
+        k = Provenance.of(ev_out(A, nested), ev_in(B))
+        assert len(k) == 2
+        assert k.total_events() == 3
+
+    def test_depth_of_flat_sequence_is_one(self):
+        assert Provenance.of(ev_out(A), ev_in(B)).depth() == 1
+
+    def test_depth_counts_nesting(self):
+        deep = Provenance.of(ev_out(A, Provenance.of(ev_in(B, Provenance.of(ev_out(C))))))
+        assert deep.depth() == 3
+        assert EMPTY.depth() == 0
+
+    def test_suffixes_enumerates_all(self):
+        k = Provenance.of(ev_out(A), ev_in(B))
+        suffixes = list(k.suffixes())
+        assert suffixes[0] == k
+        assert suffixes[-1] == EMPTY
+        assert len(suffixes) == 3
+
+    def test_str_shows_event_polarity(self):
+        k = Provenance.of(ev_out(A), ev_in(B))
+        assert str(k) == "a!{}; b?{}"
+        assert str(EMPTY) == "ε"
+
+
+class TestProperties:
+    @given(provenances())
+    def test_concat_with_empty_is_identity(self, k):
+        assert k.concat(EMPTY) == k
+        assert EMPTY.concat(k) == k
+
+    @given(provenances(), provenances())
+    def test_concat_length_adds(self, k1, k2):
+        assert len(k1.concat(k2)) == len(k1) + len(k2)
+
+    @given(provenances(), provenances(), provenances())
+    def test_concat_is_associative(self, k1, k2, k3):
+        assert k1.concat(k2).concat(k3) == k1.concat(k2.concat(k3))
+
+    @given(provenances())
+    def test_cons_then_tail_round_trips(self, k):
+        extended = k.cons(ev_out(A))
+        assert extended.head == ev_out(A)
+        assert extended.tail == k
+
+    @given(provenances())
+    def test_total_events_at_least_spine(self, k):
+        assert k.total_events() >= len(k)
+
+    @given(provenances())
+    def test_principals_closed_under_concat(self, k):
+        other = Provenance.of(ev_out(C))
+        assert k.concat(other).principals() == k.principals() | {C}
+
+    @given(provenances())
+    def test_hashable_and_equal_to_itself(self, k):
+        assert hash(k) == hash(Provenance(k.events))
+        assert k == Provenance(k.events)

@@ -1,0 +1,235 @@
+"""Tests for the simulated distributed runtime: clock, wire, middleware,
+nodes, adversary, and agreement with the calculus semantics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.builder import ch, pr
+from repro.core.errors import SimulationError, WireFormatError
+from repro.core.names import Channel, Principal
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.core.semantics import SemanticsMode
+from repro.core.values import AnnotatedValue, annotate
+from repro.lang import parse_system
+from repro.runtime import (
+    DistributedRuntime,
+    ForgingAdversary,
+    LatencyModel,
+    Simulator,
+    decode_payload,
+    decode_value,
+    encode_payload,
+    encode_provenance,
+    encode_value,
+)
+from tests.conftest import provenances
+
+A, B = pr("a"), pr("b")
+M, V = ch("m"), ch("v")
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(2.0, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_callbacks_may_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def ping():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(1.0, ping)
+
+        sim.schedule(0.0, ping)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_until_leaves_future_events_pending(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        assert sim.run(until=1.0) == 0
+        assert sim.pending == 1
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        assert sim.run(max_events=10) == 10
+
+
+class TestWire:
+    def test_value_round_trip(self):
+        k = Provenance.of(OutputEvent(A, Provenance.of(InputEvent(B, EMPTY))))
+        value = annotate(V, k)
+        decoded, offset = decode_value(encode_value(value))
+        assert decoded == value
+        assert offset == len(encode_value(value))
+
+    def test_payload_round_trip(self):
+        payload = (annotate(V), annotate(pr("a")))
+        decoded, _ = decode_payload(encode_payload(payload))
+        assert decoded == payload
+
+    @settings(max_examples=100, deadline=None)
+    @given(provenances())
+    def test_provenance_round_trip_property(self, k):
+        from repro.runtime.wire import decode_provenance
+
+        decoded, _ = decode_provenance(encode_provenance(k), 0)
+        assert decoded == k
+
+    def test_bytes_grow_with_provenance(self):
+        small = encode_value(annotate(V))
+        big = encode_value(
+            annotate(V, Provenance.of(*(OutputEvent(A, EMPTY),) * 10))
+        )
+        assert len(big) > len(small)
+
+    @pytest.mark.parametrize(
+        "junk",
+        [b"", b"\xff", b"\x43\x05ab", b"\x99\x01a\x00"],
+    )
+    def test_malformed_bytes_rejected(self, junk):
+        with pytest.raises(WireFormatError):
+            decode_value(junk)
+
+
+class TestMiddleware:
+    def test_runtime_delivery_matches_calculus_provenance(self):
+        # the runtime's stamped provenance equals the engine's
+        source = "a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]"
+        runtime = DistributedRuntime(seed=3)
+        runtime.deploy(parse_system(source))
+        runtime.run()
+        final_delivery = runtime.metrics.delivered[-1]
+        assert str(final_delivery.values[0].provenance) == (
+            "c?{}; s!{}; s?{}; a!{}"
+        )
+
+    def test_pattern_vetting_blocks_at_manager(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(parse_system("a[m<v>] || c[m(b!any as x).0]", principals={"b"}))
+        runtime.run()
+        assert runtime.metrics.deliveries == 0
+        assert runtime.metrics.pattern_rejections > 0
+        assert runtime.blocked_threads() == 1
+
+    def test_erased_mode_skips_stamping_and_vetting(self):
+        runtime = DistributedRuntime(seed=1, mode=SemanticsMode.ERASED)
+        runtime.deploy(parse_system("a[m<v>] || c[m(b!any as x).0]", principals={"b"}))
+        runtime.run()
+        assert runtime.metrics.deliveries == 1
+        assert runtime.metrics.delivered[0].values[0].provenance is EMPTY
+
+    def test_messages_queue_until_receiver_arrives(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(parse_system("a[m<v>]"))
+        runtime.run()
+        manager = runtime.middleware.manager(M)
+        assert manager.queued_messages == 1
+        runtime.deploy(parse_system("b[m(x).0]"))
+        runtime.run()
+        assert manager.queued_messages == 0
+
+    def test_latency_model_zero_jitter_is_deterministic_time(self):
+        runtime = DistributedRuntime(
+            seed=5, latency=LatencyModel(base=2.0, jitter=0.0)
+        )
+        runtime.deploy(parse_system("a[m<v>] || b[m(x).0]"))
+        runtime.run()
+        assert runtime.now == 2.0
+
+    def test_metrics_overhead_ratio_is_zero_without_provenance(self):
+        runtime = DistributedRuntime(seed=1, mode=SemanticsMode.ERASED)
+        runtime.deploy(parse_system("a[m<v>] || b[m(x).0]"))
+        runtime.run()
+        # empty provenances still serialize a zero-length marker byte
+        assert runtime.metrics.provenance_overhead_ratio < 0.5
+
+
+class TestNode:
+    def test_replication_budget_bounds_copies(self):
+        runtime = DistributedRuntime(seed=1, replication_budget=3)
+        runtime.deploy(parse_system("a[*(m<v>)]"))
+        runtime.run(max_events=100)
+        assert runtime.metrics.messages_sent == 3
+
+    def test_restriction_creates_fresh_channels(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(
+            parse_system("a[(new k)(k<v>)] || a[(new k)(k<w>)]")
+        )
+        runtime.run()
+        # two private channels, no crosstalk: both messages queued on
+        # distinct managers
+        queued = [
+            manager.queued_messages
+            for manager in runtime.middleware._managers.values()
+        ]
+        assert queued.count(1) == 2
+
+    def test_match_executes_locally(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(parse_system("a[if v = v then m<v> else 0]"))
+        runtime.run()
+        assert runtime.metrics.messages_sent == 1
+
+    def test_sum_consumes_exactly_one_message(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(
+            parse_system("a[m<v>] || b[(m(any as x).0 + m(eps as y).0)]")
+        )
+        runtime.run()
+        assert runtime.metrics.deliveries == 1
+
+
+class TestAdversary:
+    def test_forgery_blocked_by_default(self):
+        runtime = DistributedRuntime(seed=1)
+        adversary = ForgingAdversary(B, runtime.middleware)
+        assert not adversary.forge_origin(M, A, (V,))
+        assert runtime.metrics.forgeries_blocked == 1
+
+    def test_forgery_lands_without_integrity(self):
+        runtime = DistributedRuntime(seed=1, enforce_integrity=False)
+        runtime.deploy(parse_system("c[m(a!any as x).0]", principals={"a"}))
+        adversary = ForgingAdversary(B, runtime.middleware)
+        assert adversary.forge_origin(M, A, (V,))
+        runtime.run()
+        assert runtime.metrics.deliveries == 1
+
+    def test_replay_is_also_gated(self):
+        runtime = DistributedRuntime(seed=1)
+        captured = (annotate(V, Provenance.of(OutputEvent(A, EMPTY))),)
+        adversary = ForgingAdversary(B, runtime.middleware)
+        assert not adversary.replay(M, captured)

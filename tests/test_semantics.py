@@ -1,0 +1,220 @@
+"""Tests for the provenance-tracking reduction semantics (Table 2)."""
+
+import pytest
+
+from repro.core.builder import (
+    av,
+    branch,
+    ch,
+    choice,
+    inp,
+    located,
+    match,
+    msg,
+    new,
+    nil,
+    out,
+    par,
+    pr,
+    rep,
+    sys_par,
+    var,
+)
+from repro.core.errors import OpenTermError
+from repro.core.patterns import MatchAll, MatchNone
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.core.semantics import (
+    MatchLabel,
+    ReceiveLabel,
+    SemanticsMode,
+    SendLabel,
+    enumerate_steps,
+)
+from repro.core.system import Message, located_components, messages_of
+from repro.core.values import annotate
+
+A, B = pr("a"), pr("b")
+M, N, V, W = ch("m"), ch("n"), ch("v"), ch("w")
+X, Y = var("x"), var("y")
+
+
+def only_step(system, mode=SemanticsMode.TRACKED):
+    steps = enumerate_steps(system, mode)
+    assert len(steps) == 1, f"expected one step, got {[str(s.label) for s in steps]}"
+    return steps[0]
+
+
+class TestSend:
+    def test_send_produces_message_with_output_event(self):
+        step = only_step(located(A, out(M, V)))
+        assert isinstance(step.label, SendLabel)
+        message = next(messages_of(step.target))
+        assert message.channel == M
+        assert message.payload[0].provenance == Provenance.of(OutputEvent(A, EMPTY))
+
+    def test_send_records_channel_provenance_in_event(self):
+        km = Provenance.of(InputEvent(B, EMPTY))
+        step = only_step(located(A, out(av(M, km), av(V))))
+        event = next(messages_of(step.target)).payload[0].provenance.head
+        assert event == OutputEvent(A, km)
+
+    def test_send_extends_existing_value_provenance(self):
+        kv = Provenance.of(OutputEvent(B, EMPTY))
+        step = only_step(located(A, out(av(M), av(V, kv))))
+        prov = next(messages_of(step.target)).payload[0].provenance
+        assert prov == Provenance.of(OutputEvent(A, EMPTY), OutputEvent(B, EMPTY))
+
+    def test_polyadic_send_stamps_every_component(self):
+        step = only_step(located(A, out(M, V, W)))
+        message = next(messages_of(step.target))
+        assert all(
+            value.provenance.head == OutputEvent(A, EMPTY)
+            for value in message.payload
+        )
+
+    def test_send_on_principal_subject_is_stuck(self):
+        assert enumerate_steps(located(A, out(pr("b"), V))) == []
+
+    def test_erased_mode_does_not_stamp(self):
+        step = only_step(located(A, out(M, V)), SemanticsMode.ERASED)
+        assert next(messages_of(step.target)).payload[0].provenance is EMPTY
+
+
+class TestReceive:
+    def test_receive_consumes_message_and_stamps(self):
+        s = sys_par(located(B, inp(M, X, body=out(N, X))), msg(M, V))
+        step = only_step(s)
+        assert isinstance(step.label, ReceiveLabel)
+        assert list(messages_of(step.target)) == []
+        held = next(located_components(step.target))
+        payload = held.process.payload[0]
+        assert payload.provenance == Provenance.of(InputEvent(B, EMPTY))
+
+    def test_pattern_vetting_blocks_nonmatching(self):
+        s = sys_par(
+            located(B, inp(M, (MatchNone(), X), body=nil())), msg(M, V)
+        )
+        assert enumerate_steps(s) == []
+
+    def test_erased_mode_ignores_patterns(self):
+        s = sys_par(
+            located(B, inp(M, (MatchNone(), X), body=nil())), msg(M, V)
+        )
+        assert len(enumerate_steps(s, SemanticsMode.ERASED)) == 1
+
+    def test_branch_selection_by_pattern(self):
+        from repro.patterns.parse import parse_pattern
+
+        sent_by_a = parse_pattern("a!any")
+        sum_ = choice(
+            M,
+            branch((sent_by_a, X), body=out(ch("hit"), X)),
+            branch((MatchNone(), Y), body=out(ch("miss"), Y)),
+        )
+        kv = Provenance.of(OutputEvent(A, EMPTY))
+        s = sys_par(located(B, sum_), Message(M, (annotate(V, kv),)))
+        step = only_step(s)
+        assert step.label.branch_index == 0
+        assert next(located_components(step.target)).process.channel == av(ch("hit"))
+
+    def test_multiple_matching_branches_all_offered(self):
+        sum_ = choice(M, branch(X, body=nil()), branch(Y, body=nil()))
+        s = sys_par(located(B, sum_), msg(M, V))
+        assert len(enumerate_steps(s)) == 2
+
+    def test_arity_mismatch_blocks(self):
+        s = sys_par(located(B, inp(M, X, body=nil())), msg(M, V, W))
+        assert enumerate_steps(s) == []
+
+    def test_each_message_is_an_alternative(self):
+        s = sys_par(located(B, inp(M, X, body=nil())), msg(M, V), msg(M, W))
+        assert len(enumerate_steps(s)) == 2
+
+    def test_channel_provenance_recorded_from_receiver_view(self):
+        km = Provenance.of(OutputEvent(A, EMPTY))
+        s = sys_par(
+            located(B, inp(av(M, km), X, body=out(N, X))), msg(M, V)
+        )
+        step = only_step(s)
+        held = next(located_components(step.target)).process.payload[0]
+        assert held.provenance.head == InputEvent(B, km)
+
+
+class TestMatch:
+    def test_equal_plains_take_then_branch(self):
+        step = only_step(located(A, match(V, V, out(M, V), out(N, V))))
+        assert isinstance(step.label, MatchLabel) and step.label.result
+        assert next(located_components(step.target)).process == out(M, V)
+
+    def test_distinct_plains_take_else_branch(self):
+        step = only_step(located(A, match(V, W, out(M, V), out(N, V))))
+        assert not step.label.result
+        assert next(located_components(step.target)).process == out(N, V)
+
+    def test_provenance_is_ignored_by_comparison(self):
+        kv = Provenance.of(OutputEvent(B, EMPTY))
+        step = only_step(
+            located(A, match(av(V, kv), av(V), out(M, V), out(N, V)))
+        )
+        assert step.label.result
+
+
+class TestReplication:
+    def test_replicated_output_steps_and_persists(self):
+        s = located(A, rep(out(M, V)))
+        step = only_step(s)
+        assert step.from_replication
+        # the replication survives and a message was emitted
+        assert len(list(messages_of(step.target))) == 1
+        # the only follow-up redex is the replication sending again
+        follow_ups = enumerate_steps(step.target)
+        assert len(follow_ups) == 1 and follow_ups[0].from_replication
+
+    def test_replicated_input_serves_many_messages(self):
+        s = sys_par(located(A, rep(inp(M, X, body=out(N, X)))), msg(M, V), msg(M, W))
+        first = enumerate_steps(s)
+        assert len(first) == 2  # one receive per message
+        after = first[0].target
+        again = [
+            st for st in enumerate_steps(after)
+            if isinstance(st.label, ReceiveLabel) and st.label.channel == M
+        ]
+        assert len(again) == 1
+
+    def test_replication_copy_keeps_siblings(self):
+        # ∗(m⟨v⟩ | n⟨w⟩): stepping the m-send must keep the copy's n-send
+        s = located(A, rep(par(out(M, V), out(N, W))))
+        step = enumerate_steps(s)[0]
+        sends = [st for st in enumerate_steps(step.target)]
+        # residual sibling + fresh copy's two sends
+        labels = {str(s.label) for s in sends}
+        assert any("n" in label for label in labels)
+
+    def test_restriction_under_replication_fresh_per_copy(self):
+        s = located(A, rep(new("k", out(ch("k"), V))))
+        first = enumerate_steps(s)[0]
+        second = [
+            st for st in enumerate_steps(first.target)
+            if isinstance(st.label, SendLabel)
+        ]
+        assert second
+        # after the second copy fires, two messages are in flight, on two
+        # *distinct* private channels — each copy owns a fresh restriction
+        channels = {m.channel for m in messages_of(second[0].target)}
+        assert len(channels) == 2
+
+    def test_nested_replication_bounded(self):
+        s = located(A, rep(rep(out(M, V))))
+        steps = enumerate_steps(s)
+        assert steps  # does not diverge, finds the inner send
+        assert all(st.from_replication for st in steps)
+
+
+class TestClosedness:
+    def test_open_system_rejected(self):
+        with pytest.raises(OpenTermError):
+            enumerate_steps(located(A, out(M, X)))
+
+    def test_bound_variables_are_fine(self):
+        s = located(A, inp(M, X, body=out(N, X)))
+        assert enumerate_steps(s) == []  # blocked, but legal

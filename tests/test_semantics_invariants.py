@@ -1,0 +1,109 @@
+"""Cross-cutting invariants of the reduction semantics, property-tested.
+
+These are the little lemmas a soundness proof would lean on: reduction
+preserves closedness, never invents free names, moves exactly one message
+per communication step, and grows provenance by exactly one event per
+send/receive.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.semantics import (
+    MatchLabel,
+    ReceiveLabel,
+    SemanticsMode,
+    SendLabel,
+    enumerate_steps,
+)
+from repro.core.system import (
+    messages_of,
+    system_free_channels,
+    system_free_variables,
+    system_principals,
+)
+from repro.workloads.random_systems import GeneratorConfig, random_system
+from tests.conftest import systems
+
+CONFIG = GeneratorConfig(
+    n_principals=3, n_channels=4, n_components=4, max_depth=3, n_messages=2
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_reduction_preserves_closedness(system):
+    for step in enumerate_steps(system):
+        assert system_free_variables(step.target) == frozenset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_reduction_never_invents_free_channels(system):
+    before = system_free_channels(system)
+    for step in enumerate_steps(system):
+        # extruded restrictions are re-bound at top level, so the free
+        # names of the target never exceed those of the source
+        assert system_free_channels(step.target) <= before
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_message_count_changes_by_exactly_one(system):
+    before = len(list(messages_of(system)))
+    for step in enumerate_steps(system):
+        after = len(list(messages_of(step.target)))
+        if isinstance(step.label, SendLabel):
+            assert after == before + 1
+        elif isinstance(step.label, ReceiveLabel):
+            assert after == before - 1
+        else:
+            assert isinstance(step.label, MatchLabel)
+            assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_send_stamps_exactly_one_event(system):
+    before_messages = {id(m) for m in messages_of(system)}
+    for step in enumerate_steps(system):
+        if not isinstance(step.label, SendLabel):
+            continue
+        new_messages = [
+            m for m in messages_of(step.target) if id(m) not in before_messages
+        ]
+        assert len(new_messages) == 1
+        for component in new_messages[0].payload:
+            assert len(component.provenance) >= 1
+            head = component.provenance.head
+            assert head.principal == step.label.principal
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_principals_never_appear_from_nowhere(system):
+    before = system_principals(system)
+    for step in enumerate_steps(system):
+        assert system_principals(step.target) <= before
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems(CONFIG))
+def test_erased_steps_superset_of_tracked(system):
+    """Vetting only *restricts*: every tracked redex exists erased too."""
+
+    tracked = {str(step.label) for step in enumerate_steps(system)}
+    erased = {
+        str(step.label)
+        for step in enumerate_steps(system, SemanticsMode.ERASED)
+    }
+    assert tracked <= erased
+
+
+@settings(max_examples=40, deadline=None)
+@given(systems(CONFIG), st.integers(min_value=0, max_value=2**16))
+def test_determinism_of_enumeration(system, _seed):
+    """Two enumerations of the same system yield identical step lists."""
+
+    first = [(str(s.label), str(s.target)) for s in enumerate_steps(system)]
+    second = [(str(s.label), str(s.target)) for s in enumerate_steps(system)]
+    assert first == second

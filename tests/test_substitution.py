@@ -1,0 +1,120 @@
+"""Unit and property tests for capture-avoiding substitution."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.builder import ch, inp, match, new, out, par, pr, rep, var
+from repro.core.names import Channel
+from repro.core.process import Restriction, free_channels, free_variables
+from repro.core.provenance import EMPTY, OutputEvent, Provenance
+from repro.core.substitution import rename_free_channel, substitute
+from repro.core.values import annotate
+from repro.workloads.random_systems import GeneratorConfig, random_process
+import random
+
+M, N, K, V = ch("m"), ch("n"), ch("k"), ch("v")
+A = pr("a")
+X, Y = var("x"), var("y")
+
+
+class TestBasicSubstitution:
+    def test_substitutes_in_output_positions(self):
+        p = out(X, Y)
+        result = substitute(p, {X: annotate(M), Y: annotate(V)})
+        assert result == out(M, V)
+
+    def test_substitution_carries_provenance(self):
+        k = Provenance.of(OutputEvent(A, EMPTY))
+        result = substitute(out(M, X), {X: annotate(V, k)})
+        assert result == out(M, annotate(V, k))
+
+    def test_untouched_variables_stay(self):
+        result = substitute(out(X, Y), {X: annotate(M)})
+        assert result == out(M, Y)
+
+    def test_empty_mapping_is_identity_object(self):
+        p = out(M, V)
+        assert substitute(p, {}) is p
+
+    def test_match_positions_substituted(self):
+        p = match(X, Y, out(M, X), out(N, Y))
+        result = substitute(p, {X: annotate(V), Y: annotate(K)})
+        assert free_variables(result) == frozenset()
+
+    def test_substitution_descends_into_replication(self):
+        result = substitute(rep(out(M, X)), {X: annotate(V)})
+        assert result == rep(out(M, V))
+
+
+class TestShadowing:
+    def test_input_binder_shadows_mapping(self):
+        p = inp(M, X, body=out(N, X))
+        result = substitute(p, {X: annotate(V)})
+        # the inner x is bound by the input, not replaced
+        assert result == p
+
+    def test_only_shadowed_branch_is_protected(self):
+        from repro.core.builder import branch, choice
+
+        sum_ = choice(M, branch(X, body=out(N, X)), branch(Y, body=out(N, X)))
+        result = substitute(sum_, {X: annotate(V)})
+        assert result.branches[0].continuation == out(N, X)
+        assert result.branches[1].continuation == out(N, V)
+
+
+class TestCaptureAvoidance:
+    def test_restriction_renamed_when_value_would_be_captured(self):
+        # (νn)(m⟨x⟩){n/x}: the substituted n must NOT be captured
+        p = new("n", out(M, X))
+        result = substitute(p, {X: annotate(N)})
+        assert isinstance(result, Restriction)
+        assert result.channel != N
+        # the payload really is the free n
+        assert N in free_channels(result)
+
+    def test_no_rename_when_no_capture_risk(self):
+        p = new("k", out(M, X))
+        result = substitute(p, {X: annotate(N)})
+        assert result.channel == K
+
+    def test_nested_restrictions_each_renamed(self):
+        p = new("n", new("n", out(M, X)))
+        result = substitute(p, {X: annotate(N)})
+        assert N in free_channels(result)
+
+
+class TestRenameFreeChannel:
+    def test_renames_free_occurrences(self):
+        assert rename_free_channel(out(M, V), M, N) == out(N, V)
+
+    def test_stops_at_rebinding(self):
+        p = par(out(M, V), new("m", out(M, V)))
+        result = rename_free_channel(p, M, N)
+        inner = result.parts[1]
+        assert isinstance(inner, Restriction)
+        assert inner.body == out(M, V)
+
+    def test_renames_inside_continuations(self):
+        p = inp(K, X, body=out(M, X))
+        result = rename_free_channel(p, M, N)
+        assert result.branches[0].continuation == out(N, X)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_substituting_an_absent_variable_is_identity(self, seed):
+        rng = random.Random(seed)
+        p = random_process(
+            rng, GeneratorConfig(), [pr("a"), pr("b")], [M, N], []
+        )
+        fresh = var("zzz_not_used")
+        assert substitute(p, {fresh: annotate(V)}) == p
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_substitution_eliminates_exactly_the_mapped_variables(self, seed):
+        rng = random.Random(seed)
+        p = random_process(
+            rng, GeneratorConfig(), [pr("a")], [M, N], [X, Y]
+        )
+        mapping = {X: annotate(V), Y: annotate(K)}
+        result = substitute(p, mapping)
+        assert free_variables(result) == frozenset()

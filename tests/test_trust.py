@@ -1,0 +1,93 @@
+"""Tests for provenance-based trust scoring."""
+
+import pytest
+
+from repro.analysis.trust import Aggregation, TrustModel, trusted_group
+from repro.core.builder import ch, pr
+from repro.core.provenance import EMPTY, InputEvent, OutputEvent, Provenance
+from repro.core.values import annotate
+from repro.lang import parse_provenance
+
+A, B, C = pr("a"), pr("b"), pr("c")
+V = ch("v")
+
+CHAIN = parse_provenance("{c?{}; b!{}; b?{}; a!{}}")
+
+
+class TestScoring:
+    def test_empty_provenance_is_fully_trusted(self):
+        assert TrustModel().score(EMPTY) == 1.0
+
+    def test_min_aggregation_takes_weakest_link(self):
+        model = TrustModel({A: 0.9, B: 0.3, C: 0.8})
+        assert model.score(CHAIN) == pytest.approx(0.3)
+
+    def test_product_aggregation_multiplies(self):
+        model = TrustModel(
+            {A: 0.5, B: 0.5, C: 0.5}, aggregation=Aggregation.PRODUCT
+        )
+        assert model.score(CHAIN) == pytest.approx(0.125)
+
+    def test_mean_aggregation_averages(self):
+        model = TrustModel(
+            {A: 1.0, B: 0.0, C: 0.5}, aggregation=Aggregation.MEAN
+        )
+        assert model.score(CHAIN) == pytest.approx(0.5)
+
+    def test_default_trust_for_strangers(self):
+        model = TrustModel({}, default=0.7)
+        assert model.score(CHAIN) == pytest.approx(0.7)
+
+    def test_channel_provenance_principals_can_be_excluded(self):
+        nested = Provenance.of(
+            OutputEvent(A, Provenance.of(InputEvent(B, EMPTY)))
+        )
+        inclusive = TrustModel({B: 0.0}, default=1.0)
+        exclusive = TrustModel(
+            {B: 0.0}, default=1.0, include_channel_provenance=False
+        )
+        assert inclusive.score(nested) == 0.0
+        assert exclusive.score(nested) == 1.0
+
+    def test_scores_validated(self):
+        with pytest.raises(ValueError):
+            TrustModel({A: 1.5})
+        with pytest.raises(ValueError):
+            TrustModel(default=-0.1)
+
+
+class TestGatingAndRanking:
+    def test_trusted_threshold(self):
+        model = TrustModel({A: 0.9}, default=0.9)
+        value = annotate(V, parse_provenance("{a!{}}"))
+        assert model.trusted(value, 0.8)
+        assert not model.trusted(value, 0.95)
+
+    def test_rank_orders_most_trusted_first(self):
+        model = TrustModel({A: 0.9, B: 0.1})
+        good = annotate(V, parse_provenance("{a!{}}"))
+        bad = annotate(V, parse_provenance("{b!{}}"))
+        ranked = model.rank([bad, good])
+        assert ranked[0][0] == good
+        assert ranked[0][1] > ranked[1][1]
+
+
+class TestTrustedGroup:
+    def test_builds_union_of_qualifying_principals(self):
+        model = TrustModel({A: 0.9, B: 0.2, C: 0.8})
+        group = trusted_group(model, [A, B, C], threshold=0.5)
+        assert group.contains(A) and group.contains(C)
+        assert not group.contains(B)
+
+    def test_nobody_qualifies_returns_none(self):
+        model = TrustModel({A: 0.1}, default=0.0)
+        assert trusted_group(model, [A], threshold=0.5) is None
+
+    def test_group_can_gate_an_input_pattern(self):
+        from repro.patterns.ast import AnyPattern, EventPattern, Sequence
+
+        model = TrustModel({A: 0.9, B: 0.1})
+        group = trusted_group(model, [A, B], threshold=0.5)
+        pattern = Sequence(EventPattern("!", group, AnyPattern()), AnyPattern())
+        assert pattern.matches(parse_provenance("{a!{}}"))
+        assert not pattern.matches(parse_provenance("{b!{}}"))

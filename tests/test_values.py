@@ -1,0 +1,60 @@
+"""Unit tests for annotated values and identifiers."""
+
+import pytest
+
+from repro.core.builder import ch, pr, var
+from repro.core.provenance import EMPTY, OutputEvent, Provenance
+from repro.core.values import AnnotatedValue, annotate, is_channel_value, plain
+
+
+class TestAnnotatedValue:
+    def test_wraps_channel_or_principal(self):
+        assert annotate(ch("m")).value == ch("m")
+        assert annotate(pr("a")).value == pr("a")
+
+    def test_rejects_variables_as_plain_part(self):
+        with pytest.raises(TypeError):
+            AnnotatedValue(var("x"), EMPTY)
+
+    def test_default_provenance_is_empty(self):
+        assert annotate(ch("m")).provenance is EMPTY
+
+    def test_record_prepends_event(self):
+        event = OutputEvent(pr("a"), EMPTY)
+        value = annotate(ch("m")).record(event)
+        assert value.provenance.head == event
+        assert value.value == ch("m")
+
+    def test_record_is_persistent(self):
+        original = annotate(ch("m"))
+        original.record(OutputEvent(pr("a"), EMPTY))
+        assert original.provenance is EMPTY
+
+    def test_with_provenance_swaps_annotation_only(self):
+        k = Provenance.of(OutputEvent(pr("a"), EMPTY))
+        value = annotate(ch("m")).with_provenance(k)
+        assert value.provenance == k
+        assert value.value == ch("m")
+
+    def test_same_plain_different_provenance_are_distinct(self):
+        k = Provenance.of(OutputEvent(pr("a"), EMPTY))
+        assert annotate(ch("m")) != annotate(ch("m"), k)
+
+    def test_str_hides_empty_provenance(self):
+        assert str(annotate(ch("m"))) == "m"
+        k = Provenance.of(OutputEvent(pr("a"), EMPTY))
+        assert str(annotate(ch("m"), k)) == "m:{a!{}}"
+
+
+class TestIdentifierHelpers:
+    def test_plain_unwraps_values(self):
+        assert plain(annotate(ch("m"))) == ch("m")
+
+    def test_plain_rejects_variables(self):
+        with pytest.raises(TypeError):
+            plain(var("x"))
+
+    def test_is_channel_value(self):
+        assert is_channel_value(annotate(ch("m")))
+        assert not is_channel_value(annotate(pr("a")))
+        assert not is_channel_value(var("x"))
