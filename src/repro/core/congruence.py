@@ -57,6 +57,7 @@ from repro.core.values import AnnotatedValue, Identifier
 __all__ = [
     "NormalForm",
     "normalize",
+    "flatten_component",
     "to_system",
     "canonical",
     "alpha_equivalent",
@@ -174,6 +175,40 @@ def normalize(system: System, supply: NameSupply | None = None) -> NormalForm:
     components: list[System] = []
     _flatten_system(system, supply, restricted, components, taken)
     return NormalForm(tuple(restricted), tuple(components))
+
+
+def flatten_component(
+    component: System,
+    supply: NameSupply,
+    taken: set[str],
+) -> tuple[list[System], list[Channel]]:
+    """The normal-form *delta* of a single raw component.
+
+    Splits and hoists ``component`` exactly as :func:`normalize` would
+    while flattening it inside a larger system: parallels are split,
+    restrictions hoisted (kept when their name is not ``taken``, renamed
+    from ``supply`` otherwise), inactions dropped.  Returns the flat
+    components and the hoisted binders, in traversal order.
+
+    This is the incremental engine's workhorse.  Because normalization is
+    *stable* — already-flat components pass through untouched and hoisted
+    binders keep their names — splicing the returned components into a
+    previous normal form (and appending the returned binders to its
+    restriction list) reproduces, name for name, what ``normalize`` of
+    the whole rebuilt system would produce.  Only the replaced component
+    is ever traversed: the delta costs O(|component|), not O(|system|).
+
+    ``taken`` must contain every free channel name of the surrounding
+    system plus all existing binder names (the same set ``normalize``
+    threads through its traversal); kept and fresh binder names are added
+    to it.  ``supply``/``taken`` only need ``in``/``add``-style
+    membership, so callers may pass live views over indexed name sets.
+    """
+
+    restricted: list[Channel] = []
+    components: list[System] = []
+    _flatten_system(component, supply, restricted, components, taken)
+    return components, restricted
 
 
 def _hoist_binder(

@@ -10,6 +10,7 @@ finite LTS; systems with replication are cut off by the state budget.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -117,33 +118,31 @@ def explore(
 
     lts = LTS()
     index_of: dict[NormalForm, int] = {}
+    frontier: deque[int] = deque()
 
-    def intern(s: System) -> int:
-        key = canonical(s)
-        existing = index_of.get(key)
-        if existing is not None:
-            return existing
+    def intern(s: System, key: NormalForm) -> int:
         index = len(lts.states)
         index_of[key] = index
         lts.states.append(s)
+        frontier.append(index)
         return index
 
-    initial = intern(system)
-    frontier = [initial]
-    explored: set[int] = set()
+    intern(system, canonical(system))
     while frontier:
-        state = frontier.pop(0)
-        if state in explored:
-            continue
-        explored.add(state)
+        state = frontier.popleft()
         for step in enumerate_steps(lts.states[state], mode):
-            if len(lts.states) >= max_states:
-                lts.complete = False
-                return lts
-            target = intern(step.target)
+            key = canonical(step.target)
+            target = index_of.get(key)
+            if target is None:
+                if len(lts.states) >= max_states:
+                    # The state budget is exhausted: this successor would
+                    # be a *new* state, so drop it — but keep exploring;
+                    # transitions between already-interned states are
+                    # real edges of the truncated LTS and must survive.
+                    lts.complete = False
+                    continue
+                target = intern(step.target, key)
             lts.transitions.append(Transition(state, step.label, target))
-            if target not in explored:
-                frontier.append(target)
     return lts
 
 

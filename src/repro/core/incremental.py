@@ -1,0 +1,853 @@
+"""Incremental redex maintenance: the engine's O(affected) hot path.
+
+The from-scratch enumerator (:func:`repro.core.semantics.enumerate_steps`)
+re-normalizes the whole system and re-enumerates every redex on every
+step — O(system) work per reduction even though a fired step touches at
+most two components.  :class:`IncrementalReducer` keeps the system in a
+*persistent normal form* and maintains channel-keyed indices over it:
+
+* ``_messages`` — pending messages by channel, in component order;
+* ``_receivers`` — enabled input sums by subject channel (the components
+  whose redexes depend on a channel's message set);
+* per-component redex caches — a send or match redex is a pure function
+  of its thread and is computed once; a receiver's candidates are cached
+  per pending message and invalidated only when that message set changes;
+  replications are re-unfolded each enumeration (their copies draw fresh
+  restriction names, which depend on the global name pool).
+
+After a fired step only the components it created or consumed are
+re-indexed: the produced components are flattened *in isolation*
+(:func:`repro.core.congruence.flatten_component` — the normal-form
+delta), their names added to refcounted name/free-channel indices, and
+the consumed components' contributions removed.  Step maintenance is
+O(affected), not O(system).
+
+Exactness.  The reducer is built to be *indistinguishable* from the
+from-scratch path: for every reachable state it yields the same redexes,
+in the same order, producing byte-identical target systems — fresh names
+included.  Three devices make that hold:
+
+* normalization is stable (flat components re-normalize to themselves,
+  hoisted binders keep their names), so splicing deltas into the
+  persistent normal form equals re-normalizing the rebuilt system;
+* fresh-name draws are replayed faithfully: each enumeration opens a
+  session view over the live name indices (mirroring the from-scratch
+  supply seeded with ``all_system_names``), replication copies re-draw
+  per enumeration, and a receive continuation at risk of channel capture
+  is re-substituted per enumeration exactly where the from-scratch pass
+  would draw; risk-free continuations defer substitution to fire time,
+  where it is draw-free;
+* a per-step *ghost set* keeps the names of the raw (not yet flattened)
+  produced components visible to the next enumeration's session, because
+  the from-scratch pass seeds its supply from the raw system before
+  normalizing away vanishing subterms.
+
+The differential test-suite (``tests/test_incremental.py``) checks the
+label-and-target equality against ``enumerate_steps`` after every step of
+randomized runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.congruence import all_system_names, flatten_component, normalize
+from repro.core.errors import OpenTermError, ReductionError
+from repro.core.names import Channel, NameSupply, freshen
+from repro.core.process import (
+    Inaction,
+    InputSum,
+    Match,
+    Output,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.semantics import (
+    Redex,
+    ReductionStep,
+    SemanticsMode,
+    component_redexes,
+    receive_candidates,
+)
+from repro.core.substitution import substitute
+from repro.core.system import (
+    Located,
+    Message,
+    SysParallel,
+    SysRestriction,
+    System,
+    system_free_channels,
+    system_free_variables,
+)
+from repro.core.values import AnnotatedValue
+
+__all__ = ["IncrementalReducer", "PendingStep", "RedexView"]
+
+
+# ---------------------------------------------------------------------------
+# Name bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class _RefCount:
+    """A refcounted set of names: membership is count > 0."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add_all(self, names) -> None:
+        counts = self._counts
+        for name in names:
+            counts[name] = counts.get(name, 0) + 1
+
+    def remove_all(self, names) -> None:
+        counts = self._counts
+        for name in names:
+            remaining = counts[name] - 1
+            if remaining:
+                counts[name] = remaining
+            else:
+                del counts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+
+class _SupplyView:
+    """A :class:`NameSupply` façade over live name indices.
+
+    Membership unions the given base containers with the session's own
+    draws; ``fresh`` delegates to :func:`repro.core.names.freshen` — the
+    one probing scheme — so a session over indices equal to
+    ``all_system_names(system)`` draws exactly the names a from-scratch
+    ``NameSupply(all_system_names(system))`` would.
+    """
+
+    __slots__ = ("_bases", "_extra")
+
+    def __init__(self, *bases) -> None:
+        self._bases = bases
+        self._extra: set[str] = set()
+
+    def __contains__(self, name: str) -> bool:
+        if name in self._extra:
+            return True
+        for base in self._bases:
+            if name in base:
+                return True
+        return False
+
+    def reserve(self, names) -> None:
+        self._extra.update(names)
+
+    def fresh(self, base: str) -> str:
+        name = freshen(base, self)
+        self._extra.add(name)
+        return name
+
+    def fresh_channel(self, base) -> Channel:
+        stem = base.name if isinstance(base, Channel) else base
+        return Channel(self.fresh(stem))
+
+
+class _TakenView:
+    """The ``taken`` set threaded through flattening, as a live view."""
+
+    __slots__ = ("_bases", "added")
+
+    def __init__(self, *bases) -> None:
+        self._bases = bases
+        self.added: set[str] = set()
+
+    def __contains__(self, name: str) -> bool:
+        if name in self.added:
+            return True
+        for base in self._bases:
+            if name in base:
+                return True
+        return False
+
+    def add(self, name: str) -> None:
+        self.added.add(name)
+
+
+class _GuardSupply:
+    """A supply that must never be asked for a fresh name.
+
+    Passed to deferred (risk-free) continuation substitutions: those are
+    guaranteed draw-free, and a draw here would mean the risk analysis
+    missed a capture — fail loudly instead of silently diverging from the
+    from-scratch path.
+    """
+
+    __slots__ = ()
+
+    def reserve(self, names) -> None:  # pragma: no cover - trivial
+        pass
+
+    def fresh(self, base: str) -> str:
+        raise AssertionError(
+            f"draw-free substitution requested a fresh name for {base!r}"
+        )
+
+    def fresh_channel(self, base):
+        raise AssertionError(
+            f"draw-free substitution requested a fresh channel for {base!r}"
+        )
+
+
+_GUARD_SUPPLY = _GuardSupply()
+_NO_MESSAGES: dict = {}
+
+_MAX_RANK_DEPTH = 32
+"""Renumbering threshold for order-maintenance ranks.
+
+Each fire ranks the replacement components ``parent_rank + (k,)``, so an
+active lineage (a ping-pong loop, a replication residue) deepens its
+rank tuple by one element per step; comparisons and bisects pay O(depth).
+When a fire would cross this depth every entry is renumbered back to
+``(i,)`` — O(system), amortized over ``_MAX_RANK_DEPTH`` steps — keeping
+long runs linear instead of quadratic in the step count.
+"""
+
+
+def _restriction_names(process: Process, acc: set[str]) -> set[str]:
+    """Every restriction binder name occurring anywhere in ``process``.
+
+    A conservative superset of the binders a substitution into the
+    process could be forced to rename: substituting a value whose plain
+    part is one of these channels may require an alpha-rename (a fresh
+    draw).  Over-approximating is safe — flagged candidates merely get
+    re-substituted eagerly per enumeration, exactly like the from-scratch
+    pass; draw-free substitutions stay deferred.
+    """
+
+    if isinstance(process, Output) or isinstance(process, Inaction):
+        return acc
+    if isinstance(process, InputSum):
+        for branch in process.branches:
+            _restriction_names(branch.continuation, acc)
+        return acc
+    if isinstance(process, Match):
+        _restriction_names(process.then_branch, acc)
+        _restriction_names(process.else_branch, acc)
+        return acc
+    if isinstance(process, Restriction):
+        acc.add(process.channel.name)
+        _restriction_names(process.body, acc)
+        return acc
+    if isinstance(process, Parallel):
+        for part in process.parts:
+            _restriction_names(part, acc)
+        return acc
+    if isinstance(process, Replication):
+        _restriction_names(process.body, acc)
+        return acc
+    raise TypeError(f"not a process: {process!r}")
+
+
+# ---------------------------------------------------------------------------
+# Entries
+# ---------------------------------------------------------------------------
+
+_MSG = 0
+_OUT = 1
+_IN = 2
+_MATCH = 3
+_REP = 4
+
+
+class _Entry:
+    """One component of the persistent normal form.
+
+    ``rank`` is an order-maintenance key: initial components get ``(i,)``
+    and the components replacing an entry get ``rank + (k,)``, which sorts
+    exactly where the replaced entry sat.  Ranks never change, so indices
+    (per-channel message lists, receiver caches) stay valid across
+    splices without global renumbering.
+    """
+
+    __slots__ = (
+        "component",
+        "rank",
+        "kind",
+        "names",
+        "free",
+        "subject",
+        "cached",
+        "items",
+        "risk_sets",
+    )
+
+    def __init__(self, component: System, rank: tuple[int, ...]) -> None:
+        self.component = component
+        self.rank = rank
+        self.names = frozenset(all_system_names(component))
+        self.free = frozenset(c.name for c in system_free_channels(component))
+        self.subject: Optional[Channel] = None
+        self.cached: Optional[tuple[Redex, ...]] = None
+        self.items: dict["_Entry", tuple] = {}
+        self.risk_sets: Optional[tuple[frozenset[str], ...]] = None
+        if isinstance(component, Message):
+            self.kind = _MSG
+        else:
+            assert isinstance(component, Located)
+            process = component.process
+            if isinstance(process, Output):
+                self.kind = _OUT
+            elif isinstance(process, InputSum):
+                self.kind = _IN
+                channel = process.channel
+                if isinstance(channel, AnnotatedValue) and isinstance(
+                    channel.value, Channel
+                ):
+                    self.subject = channel.value
+            elif isinstance(process, Match):
+                self.kind = _MATCH
+            elif isinstance(process, Replication):
+                self.kind = _REP
+            else:
+                raise ReductionError(
+                    f"unexpected normal-form component: {component!r}"
+                )
+
+
+class PendingStep:
+    """A not-yet-fired redex, as handed to strategies.
+
+    Duck-types the parts of :class:`ReductionStep` a strategy may read:
+    ``label``, ``from_replication`` and (lazily materialized) ``target``.
+    Accessing ``target`` splices a full system on demand — O(system) — so
+    strategies that only inspect labels stay cheap.  A pending step is
+    only valid until the reducer fires a step; stale use raises.
+    """
+
+    __slots__ = (
+        "_reducer",
+        "_generation",
+        "entry",
+        "label",
+        "from_replication",
+        "consumed_entry",
+        "extra",
+        "_produced",
+        "_make",
+        "_target",
+    )
+
+    def __init__(
+        self,
+        reducer: "IncrementalReducer",
+        entry: _Entry,
+        label,
+        from_replication: bool,
+        consumed_entry: Optional[_Entry],
+        extra: tuple[Channel, ...],
+        produced: Optional[tuple[System, ...]] = None,
+        make: Optional[Callable[[], tuple[System, ...]]] = None,
+    ) -> None:
+        self._reducer = reducer
+        self._generation = reducer._generation
+        self.entry = entry
+        self.label = label
+        self.from_replication = from_replication
+        self.consumed_entry = consumed_entry
+        self.extra = extra
+        self._produced = produced
+        self._make = make
+        self._target: Optional[System] = None
+
+    @property
+    def produced(self) -> tuple[System, ...]:
+        if self._produced is None:
+            self._produced = self._make()  # type: ignore[misc]
+        return self._produced
+
+    @property
+    def target(self) -> System:
+        if self._target is None:
+            self._target = self._reducer._peek_target(self)
+        return self._target
+
+    def __str__(self) -> str:
+        return f"--{self.label}--> <pending>"
+
+
+class RedexView(Sequence):
+    """The ordered redexes of the current state, materialized lazily.
+
+    Iterating, indexing or ``len()`` pulls candidates on demand from the
+    reducer's walk; :class:`FirstStrategy`-style consumers that only look
+    at the head never pay for the tail.  The view is invalidated by
+    :meth:`IncrementalReducer.fire`.
+    """
+
+    __slots__ = ("_iterator", "_buffer", "_done")
+
+    def __init__(self, iterator: Iterator[PendingStep]) -> None:
+        self._iterator = iterator
+        self._buffer: list[PendingStep] = []
+        self._done = False
+
+    def _fill(self, need: Optional[int]) -> None:
+        while not self._done and (need is None or len(self._buffer) <= need):
+            try:
+                self._buffer.append(next(self._iterator))
+            except StopIteration:
+                self._done = True
+
+    def is_empty(self) -> bool:
+        self._fill(0)
+        return not self._buffer
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __len__(self) -> int:
+        self._fill(None)
+        return len(self._buffer)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            self._fill(None)
+            return self._buffer[index]
+        if index < 0:
+            self._fill(None)
+        else:
+            self._fill(index)
+        return self._buffer[index]
+
+    def __iter__(self) -> Iterator[PendingStep]:
+        position = 0
+        while True:
+            if position < len(self._buffer):
+                yield self._buffer[position]
+                position += 1
+                continue
+            if self._done:
+                return
+            self._fill(position)
+            if position >= len(self._buffer):
+                return
+
+
+class _MessagesView:
+    """Per-walk mapping channel → pending messages, built on demand."""
+
+    __slots__ = ("_reducer", "_cache")
+
+    def __init__(self, reducer: "IncrementalReducer") -> None:
+        self._reducer = reducer
+        self._cache: dict[Channel, tuple[Message, ...]] = {}
+
+    def get(self, channel: Channel, default=()) -> Sequence[Message]:
+        cached = self._cache.get(channel)
+        if cached is None:
+            entries = self._reducer._messages.get(channel, ())
+            cached = tuple(entry.component for entry in entries)
+            self._cache[channel] = cached
+        return cached if cached else default
+
+
+# ---------------------------------------------------------------------------
+# The reducer
+# ---------------------------------------------------------------------------
+
+
+class IncrementalReducer:
+    """A persistent normal form with incrementally maintained redexes.
+
+    Construction normalizes once (O(system)); afterwards
+    :meth:`redexes` enumerates from per-component caches and
+    :meth:`fire` applies a chosen redex with O(affected) maintenance.
+    The sequence of redex lists and fired targets is identical — labels,
+    systems, fresh names — to driving
+    :func:`repro.core.semantics.enumerate_steps` from scratch at every
+    state.
+    """
+
+    def __init__(
+        self, system: System, mode: SemanticsMode = SemanticsMode.TRACKED
+    ) -> None:
+        free = system_free_variables(system)
+        if free:
+            raise OpenTermError(free, "IncrementalReducer")
+        self.mode = mode
+        supply = NameSupply(all_system_names(system))
+        nf = normalize(system, supply)
+        self._restricted: list[Channel] = list(nf.restricted)
+        self._binder_names: set[str] = {c.name for c in self._restricted}
+        self._names = _RefCount()
+        self._free = _RefCount()
+        self._entries: list[_Entry] = []
+        self._ranks: list[tuple[int, ...]] = []
+        self._messages: dict[Channel, list[_Entry]] = {}
+        self._receivers: dict[Channel, set[_Entry]] = {}
+        self._generation = 0
+        self.steps_fired = 0
+        # The from-scratch pass seeds its supply from the *raw* system,
+        # whose vanishing subterms (dropped inactions, renamed binders)
+        # are invisible after normalization; keep them reserved for the
+        # first enumeration session.
+        self._ghost_names: frozenset[str] = frozenset(all_system_names(system))
+        for position, component in enumerate(nf.components):
+            self._insert_entry(_Entry(component, (position,)), position)
+
+    # -- public API --------------------------------------------------------
+
+    def redexes(self) -> RedexView:
+        """The enabled redexes, in from-scratch enumeration order."""
+
+        return RedexView(self._walk())
+
+    def is_quiescent(self) -> bool:
+        """True when no redex is enabled (checks at most one candidate)."""
+
+        return self.redexes().is_empty()
+
+    def current_system(self) -> System:
+        """The current state as a plain system (restriction-prenex)."""
+
+        return self._wrap(
+            self._restricted, [entry.component for entry in self._entries]
+        )
+
+    def fire(self, pending: PendingStep) -> ReductionStep:
+        """Apply a pending redex; returns the full fired step.
+
+        The returned step's target is the *raw* spliced system — exactly
+        what the from-scratch enumerator's precomputed target would be —
+        while the reducer's internal state advances to its flattened
+        normal form.  Fires invalidate every outstanding view.
+        """
+
+        if pending._generation != self._generation:
+            raise ReductionError("stale redex: the reducer has advanced")
+        entry = pending.entry
+        produced = pending.produced
+        acting_index = self._index_of(entry)
+
+        consumed_entry: Optional[_Entry] = None
+        consumed_index = -1
+        if pending.consumed_entry is not None:
+            consumed_entry = self._first_identical(
+                pending.consumed_entry.component
+            )
+            consumed_index = self._index_of(consumed_entry)
+
+        target = pending._target
+        if target is None:
+            target = self._splice_target(
+                acting_index, produced, consumed_index, pending.extra
+            )
+
+        # --- contributions of what this step removes -----------------------
+        self._names.remove_all(entry.names)
+        self._free.remove_all(entry.free)
+        if consumed_entry is not None:
+            self._names.remove_all(consumed_entry.names)
+            self._free.remove_all(consumed_entry.free)
+
+        # --- binders hoisted by replication unfolding -----------------------
+        for binder in pending.extra:
+            self._restricted.append(binder)
+            self._binder_names.add(binder.name)
+
+        # --- flatten the produced components (the normal-form delta) -------
+        raw_names: set[str] = set()
+        raw_free: set[str] = set()
+        for raw in produced:
+            raw_names |= all_system_names(raw)
+            raw_free |= {c.name for c in system_free_channels(raw)}
+        supply = _SupplyView(self._names, self._binder_names, raw_names)
+        taken = _TakenView(self._free, self._binder_names, raw_free)
+        flat: list[System] = []
+        new_binders: list[Channel] = []
+        for raw in produced:
+            components, binders = flatten_component(raw, supply, taken)
+            flat.extend(components)
+            new_binders.extend(binders)
+        for binder in new_binders:
+            self._restricted.append(binder)
+            self._binder_names.add(binder.name)
+
+        # --- splice the entry lists ----------------------------------------
+        insert_at = acting_index
+        if consumed_entry is not None:
+            if consumed_index > acting_index:
+                self._delete_entry(consumed_index)
+                self._delete_entry(acting_index)
+            else:
+                self._delete_entry(acting_index)
+                self._delete_entry(consumed_index)
+                insert_at -= 1
+        else:
+            self._delete_entry(acting_index)
+        base_rank = entry.rank
+        for offset, component in enumerate(flat):
+            self._insert_entry(
+                _Entry(component, base_rank + (offset,)), insert_at + offset
+            )
+        if len(base_rank) >= _MAX_RANK_DEPTH:
+            self._renumber()
+
+        self._ghost_names = frozenset(raw_names)
+        self._generation += 1
+        self.steps_fired += 1
+        return ReductionStep(pending.label, target, pending.from_replication)
+
+    def _renumber(self) -> None:
+        """Flatten all ranks back to ``(i,)``.
+
+        The mapping is monotone, so every rank-ordered structure (the
+        entry list itself, the per-channel message buckets) stays sorted
+        without rebuilding; only the keys change.
+        """
+
+        for position, entry in enumerate(self._entries):
+            entry.rank = (position,)
+        self._ranks = [entry.rank for entry in self._entries]
+
+    # -- enumeration --------------------------------------------------------
+
+    def _walk(self) -> Iterator[PendingStep]:
+        generation = self._generation
+        session = _SupplyView(self._names, self._binder_names, self._ghost_names)
+        messages_view = _MessagesView(self)
+        index = 0
+        while index < len(self._entries):
+            if self._generation != generation:
+                raise ReductionError("stale redex view: the reducer has advanced")
+            entry = self._entries[index]
+            index += 1
+            kind = entry.kind
+            if kind == _MSG:
+                continue
+            if kind == _OUT or kind == _MATCH:
+                cached = entry.cached
+                if cached is None:
+                    cached = tuple(
+                        component_redexes(
+                            entry.component, _NO_MESSAGES, self.mode, _GUARD_SUPPLY
+                        )
+                    )
+                    entry.cached = cached
+                for redex in cached:
+                    yield PendingStep(
+                        self,
+                        entry,
+                        redex.label,
+                        redex.from_replication,
+                        None,
+                        redex.extra_restricted,
+                        produced=redex.produced,
+                    )
+                continue
+            if kind == _IN:
+                yield from self._receive_steps(entry, session)
+                continue
+            # Replication: re-unfold each enumeration (copies draw fresh
+            # restriction names from the session, like the from-scratch
+            # pass does).
+            for redex in component_redexes(
+                entry.component, messages_view, self.mode, session
+            ):
+                consumed = (
+                    self._first_identical(redex.consumed)
+                    if redex.consumed is not None
+                    else None
+                )
+                yield PendingStep(
+                    self,
+                    entry,
+                    redex.label,
+                    redex.from_replication,
+                    consumed,
+                    redex.extra_restricted,
+                    produced=redex.produced,
+                )
+
+    def _receive_steps(
+        self, entry: _Entry, session: _SupplyView
+    ) -> Iterator[PendingStep]:
+        located = entry.component
+        assert isinstance(located, Located)
+        input_sum = located.process
+        assert isinstance(input_sum, InputSum)
+        channel_id = input_sum.channel
+        if not isinstance(channel_id, AnnotatedValue):
+            raise OpenTermError({channel_id}, "receive subject")
+        if entry.subject is None:
+            return  # subject is a principal: stuck forever
+        principal = located.principal
+        for message_entry in self._messages.get(entry.subject, ()):
+            items = entry.items.get(message_entry)
+            if items is None:
+                items = self._build_items(entry, input_sum, message_entry)
+                entry.items[message_entry] = items
+            for branch, label, mapping, risky in items:
+                if risky:
+                    # The substitution may alpha-rename a restriction
+                    # (a fresh draw): replay it per enumeration, exactly
+                    # where the from-scratch pass draws.
+                    continuation = substitute(
+                        branch.continuation, mapping, session
+                    )
+                    yield PendingStep(
+                        self,
+                        entry,
+                        label,
+                        False,
+                        message_entry,
+                        (),
+                        produced=(Located(principal, continuation),),
+                    )
+                else:
+                    yield PendingStep(
+                        self,
+                        entry,
+                        label,
+                        False,
+                        message_entry,
+                        (),
+                        make=_deferred_continuation(principal, branch, mapping),
+                    )
+
+    def _build_items(
+        self, entry: _Entry, input_sum: InputSum, message_entry: _Entry
+    ) -> tuple:
+        message = message_entry.component
+        assert isinstance(message, Message)
+        if entry.risk_sets is None:
+            entry.risk_sets = tuple(
+                frozenset(_restriction_names(branch.continuation, set()))
+                for branch in input_sum.branches
+            )
+        payload_channels = {
+            w.value.name
+            for w in message.payload
+            if isinstance(w.value, Channel)
+        }
+        items = []
+        principal = entry.component.principal  # type: ignore[union-attr]
+        for branch_index, branch, label, mapping in receive_candidates(
+            principal, input_sum, message, self.mode
+        ):
+            risky = bool(entry.risk_sets[branch_index] & payload_channels)
+            items.append((branch, label, mapping, risky))
+        return tuple(items)
+
+    # -- entry/index maintenance --------------------------------------------
+
+    def _insert_entry(self, entry: _Entry, position: int) -> None:
+        self._entries.insert(position, entry)
+        self._ranks.insert(position, entry.rank)
+        self._names.add_all(entry.names)
+        self._free.add_all(entry.free)
+        if entry.kind == _MSG:
+            channel = entry.component.channel  # type: ignore[union-attr]
+            bucket = self._messages.setdefault(channel, [])
+            insort(bucket, entry, key=lambda e: e.rank)
+            # The channel's message set changed: receiver caches keyed by
+            # other messages stay valid; this entry's items are computed
+            # lazily on the next walk.
+        elif entry.kind == _IN and entry.subject is not None:
+            self._receivers.setdefault(entry.subject, set()).add(entry)
+
+    def _delete_entry(self, position: int) -> None:
+        entry = self._entries.pop(position)
+        self._ranks.pop(position)
+        if entry.kind == _MSG:
+            channel = entry.component.channel  # type: ignore[union-attr]
+            bucket = self._messages[channel]
+            bucket.pop(bisect_left(bucket, entry.rank, key=lambda e: e.rank))
+            if not bucket:
+                del self._messages[channel]
+            for receiver in self._receivers.get(channel, ()):
+                receiver.items.pop(entry, None)
+        elif entry.kind == _IN and entry.subject is not None:
+            receivers = self._receivers[entry.subject]
+            receivers.discard(entry)
+            if not receivers:
+                del self._receivers[entry.subject]
+
+    def _index_of(self, entry: _Entry) -> int:
+        position = bisect_left(self._ranks, entry.rank)
+        if (
+            position == len(self._entries)
+            or self._entries[position] is not entry
+        ):
+            raise ReductionError("redex acts on a component no longer present")
+        return position
+
+    def _first_identical(self, message: Message) -> _Entry:
+        """The first (component-order) entry holding ``message``.
+
+        Mirrors the from-scratch ``_remove_one``: identity first, then
+        structural equality — so duplicated message terms are consumed
+        from the same position either way.
+        """
+
+        bucket = self._messages.get(message.channel, ())
+        for candidate in bucket:
+            if candidate.component is message:
+                return candidate
+        for candidate in bucket:
+            if candidate.component == message:
+                return candidate
+        raise ReductionError(f"consumed message {message} not present")
+
+    # -- target construction -------------------------------------------------
+
+    def _splice_target(
+        self,
+        acting_index: int,
+        produced: tuple[System, ...],
+        consumed_index: int,
+        extra: tuple[Channel, ...],
+    ) -> System:
+        parts = [entry.component for entry in self._entries]
+        parts[acting_index : acting_index + 1] = list(produced)
+        if consumed_index >= 0:
+            adjusted = (
+                consumed_index
+                if consumed_index < acting_index
+                else consumed_index + len(produced) - 1
+            )
+            del parts[adjusted]
+        return self._wrap(list(self._restricted) + list(extra), parts)
+
+    def _peek_target(self, pending: PendingStep) -> System:
+        if pending._generation != self._generation:
+            raise ReductionError("stale redex: the reducer has advanced")
+        acting_index = self._index_of(pending.entry)
+        consumed_index = -1
+        if pending.consumed_entry is not None:
+            consumed_index = self._index_of(
+                self._first_identical(pending.consumed_entry.component)
+            )
+        return self._splice_target(
+            acting_index, pending.produced, consumed_index, pending.extra
+        )
+
+    @staticmethod
+    def _wrap(restricted: Sequence[Channel], parts: Sequence[System]) -> System:
+        body: System
+        parts = tuple(parts)
+        body = parts[0] if len(parts) == 1 else SysParallel(parts)
+        for binder in reversed(tuple(restricted)):
+            body = SysRestriction(binder, body)
+        return body
+
+
+def _deferred_continuation(principal, branch, mapping):
+    def make() -> tuple[System, ...]:
+        continuation = substitute(branch.continuation, mapping, _GUARD_SUPPLY)
+        return (Located(principal, continuation),)
+
+    return make

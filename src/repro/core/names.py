@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import re
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Container, Iterable, Union
 
 __all__ = [
     "Channel",
@@ -92,21 +92,26 @@ PlainValue = Union[Channel, Principal]
 """A plain value ``v ∈ V = C ∪ A`` (Table 1)."""
 
 
-def freshen(base: str, avoid: Iterable[str]) -> str:
+def freshen(base: str, avoid: Container[str]) -> str:
     """Return a name derived from ``base`` that does not occur in ``avoid``.
 
     The derived name keeps ``base`` as a readable prefix and appends the
     smallest primed counter that avoids the collision, so alpha-renaming
     stays legible in pretty-printed output (``n``, ``n'1``, ``n'2`` …).
+
+    ``avoid`` only needs membership (``in``); live views over indexed
+    name sets work as well as plain sets.  This is *the* fresh-name
+    probing scheme: every supply (:class:`NameSupply`, the incremental
+    engine's session views) must route through it so from-scratch and
+    incremental reduction draw byte-identical names.
     """
 
-    taken = set(avoid)
-    if base not in taken:
+    if base not in avoid:
         return base
     stem = base.split("'", 1)[0]
     for i in itertools.count(1):
         candidate = f"{stem}'{i}"
-        if candidate not in taken:
+        if candidate not in avoid:
             return candidate
     raise AssertionError("unreachable")
 

@@ -22,6 +22,21 @@ mediated by message terms, never a two-party synchronization), exposing a
 single copy of each replication per enumeration suffices to surface every
 enabled redex.
 
+Redex enumeration is *per component*: every rule touches one located
+thread (the acting component), consumes at most one message, and produces
+a bounded number of replacement components.  :func:`component_redexes`
+captures exactly that local footprint as :class:`Redex` descriptors, and
+is shared by the three consumers of the reduction relation:
+
+* :func:`enumerate_steps` — the from-scratch pass — normalizes the whole
+  system, walks its components and materializes every descriptor into a
+  full :class:`ReductionStep` (:func:`materialize_redex`);
+* the incremental engine (:mod:`repro.core.incremental`) keeps a
+  persistent normal form and only re-enumerates the components a fired
+  step touched, splicing descriptors in place;
+* :func:`repro.core.explore.explore` builds its transition systems on the
+  same enumeration through :func:`enumerate_steps`.
+
 Two modes are supported (:class:`SemanticsMode`): ``TRACKED`` is the
 paper's semantics; ``ERASED`` is the plain asynchronous pi-calculus
 baseline — no provenance updates, no vetting — used by the overhead
@@ -32,12 +47,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.congruence import NormalForm, all_system_names, normalize, to_system
 from repro.core.errors import OpenTermError, ReductionError
 from repro.core.names import Channel, NameSupply, Principal
-from repro.core.process import InputSum, Match, Output, Process, Replication
+from repro.core.process import InputBranch, InputSum, Match, Output, Process, Replication
 from repro.core.provenance import InputEvent, OutputEvent
 from repro.core.substitution import substitute
 from repro.core.system import Located, Message, SysParallel, SysRestriction, System
@@ -50,6 +65,11 @@ __all__ = [
     "ReceiveLabel",
     "MatchLabel",
     "ReductionStep",
+    "Redex",
+    "component_redexes",
+    "receive_candidates",
+    "messages_by_channel",
+    "materialize_redex",
     "enumerate_steps",
     "MAX_REPLICATION_DEPTH",
 ]
@@ -147,10 +167,51 @@ class ReductionStep:
 # Redex enumeration
 # ---------------------------------------------------------------------------
 
-# A thread entry pairs an enabled located thread with a builder that, given
-# the systems replacing it, reconstructs the full component list (including
-# any residue of materialized replication copies) plus extra restrictions.
-_Builder = Callable[[list[System]], tuple[list[System], list[Channel]]]
+
+@dataclass(frozen=True, slots=True)
+class Redex:
+    """One enabled reduction, described *locally*.
+
+    Every rule of the calculus touches exactly one located thread — the
+    *acting* component — consumes at most one message, and produces a
+    bounded number of replacement components.  A ``Redex`` records that
+    footprint and nothing else:
+
+    ``produced``
+        The components that replace the acting component, in place.  For a
+        replication-derived redex this includes the effect, the copy's
+        sibling threads and the replication residue (``∗P ≡ P | ∗P``).
+        Produced located components may still need flattening (a receive
+        continuation can be a parallel or a restriction); consumers either
+        re-normalize (:func:`enumerate_steps`) or splice deltas
+        (:func:`repro.core.congruence.flatten_component`).
+    ``consumed``
+        The message removed by R-Recv, matched by identity against the
+        component list (``None`` for sends and matches).
+    ``extra_restricted``
+        Fresh binders hoisted by replication unfolding; they are appended
+        after the system's existing top-level restrictions.
+    """
+
+    label: StepLabel
+    produced: tuple[System, ...]
+    consumed: Message | None = None
+    extra_restricted: tuple[Channel, ...] = ()
+    from_replication: bool = False
+
+
+MessageIndex = Mapping[Channel, Sequence[Message]]
+"""Pending messages keyed by channel, each list in global component order."""
+
+
+def messages_by_channel(components: Iterable[System]) -> dict[Channel, list[Message]]:
+    """Index the in-flight messages of a component list by channel."""
+
+    index: dict[Channel, list[Message]] = {}
+    for component in components:
+        if isinstance(component, Message):
+            index.setdefault(component.channel, []).append(component)
+    return index
 
 
 def enumerate_steps(
@@ -172,61 +233,64 @@ def enumerate_steps(
     supply = NameSupply(all_system_names(system))
     nf = normalize(system, supply)
     components = list(nf.components)
+    messages = messages_by_channel(components)
     steps: list[ReductionStep] = []
-
-    messages = [
-        (index, component)
-        for index, component in enumerate(components)
-        if isinstance(component, Message)
-    ]
-
-    for principal, thread, build, replicated in _thread_entries(components, supply):
-        if isinstance(thread, Output):
-            step = _send_step(principal, thread, build, nf, mode, replicated)
-            if step is not None:
-                steps.append(step)
-        elif isinstance(thread, InputSum):
-            steps.extend(
-                _receive_steps(
-                    principal, thread, build, nf, messages, mode, supply, replicated
-                )
-            )
-        elif isinstance(thread, Match):
-            steps.append(_match_step(principal, thread, build, nf, replicated))
+    for position, component in enumerate(components):
+        for redex in component_redexes(component, messages, mode, supply):
+            steps.append(materialize_redex(nf, components, position, redex))
     return steps
 
 
-def _thread_entries(
-    components: list[System], supply: NameSupply
-) -> Iterator[tuple[Principal, Process, _Builder, bool]]:
-    """Enabled threads, including one materialized copy per replication."""
+def component_redexes(
+    component: System,
+    messages: MessageIndex,
+    mode: SemanticsMode,
+    supply: NameSupply,
+) -> Iterator[Redex]:
+    """All redexes whose acting thread lives in ``component``.
 
-    for index, component in enumerate(components):
-        if not isinstance(component, Located):
-            continue
+    ``messages`` indexes the pending messages of the *whole* system (the
+    acting thread may receive from any of them); ``supply`` provides fresh
+    names for replication-copy restrictions and capture-avoiding
+    substitution.  Message components have no redexes of their own.
+    """
 
-        def build(
-            effects: list[System], *, _index: int = index
-        ) -> tuple[list[System], list[Channel]]:
-            return (
-                components[:_index] + effects + components[_index + 1 :],
-                [],
-            )
+    if not isinstance(component, Located):
+        return
+    yield from _expand(
+        component.principal,
+        component.process,
+        (),
+        (),
+        0,
+        messages,
+        mode,
+        supply,
+    )
 
-        yield from _expand_thread(
-            component.principal, component.process, build, supply, depth=0
-        )
 
-
-def _expand_thread(
+def _expand(
     principal: Principal,
     thread: Process,
-    build: _Builder,
-    supply: NameSupply,
+    suffix: tuple[System, ...],
+    extra: tuple[Channel, ...],
     depth: int,
-) -> Iterator[tuple[Principal, Process, _Builder, bool]]:
-    if isinstance(thread, (Output, InputSum, Match)):
-        yield principal, thread, build, depth > 0
+    messages: MessageIndex,
+    mode: SemanticsMode,
+    supply: NameSupply,
+) -> Iterator[Redex]:
+    if isinstance(thread, Output):
+        redex = _send_redex(principal, thread, suffix, extra, mode, depth > 0)
+        if redex is not None:
+            yield redex
+        return
+    if isinstance(thread, InputSum):
+        yield from _receive_redexes(
+            principal, thread, suffix, extra, messages, mode, supply, depth > 0
+        )
+        return
+    if isinstance(thread, Match):
+        yield _match_redex(principal, thread, suffix, extra, depth > 0)
         return
     if not isinstance(thread, Replication):
         raise ReductionError(f"unexpected thread shape: {thread!r}")
@@ -245,30 +309,48 @@ def _expand_thread(
         principal, thread.body, supply, copy_restricted, copy_components, None
     )
 
+    residue = Located(principal, thread)
     for position, copy_component in enumerate(copy_components):
         assert isinstance(copy_component, Located)
-        siblings = [
+        siblings = tuple(
             c for k, c in enumerate(copy_components) if k != position
-        ]
-        replication_residue = Located(principal, thread)
-
-        def build_copy(
-            effects: list[System],
-            *,
-            _siblings: list[System] = siblings,
-            _residue: System = replication_residue,
-            _restricted: list[Channel] = copy_restricted,
-        ) -> tuple[list[System], list[Channel]]:
-            inner, extra = build(effects + _siblings + [_residue])
-            return inner, extra + list(_restricted)
-
-        yield from _expand_thread(
+        )
+        yield from _expand(
             copy_component.principal,
             copy_component.process,
-            build_copy,
-            supply,
+            siblings + (residue,) + suffix,
+            extra + tuple(copy_restricted),
             depth + 1,
+            messages,
+            mode,
+            supply,
         )
+
+
+def materialize_redex(
+    nf: NormalForm,
+    components: Sequence[System],
+    position: int,
+    redex: Redex,
+) -> ReductionStep:
+    """Turn a local redex into a full step of the normal form ``nf``.
+
+    ``components`` must be ``nf.components`` (as a sequence) and
+    ``position`` the index of the redex's acting component.
+    """
+
+    parts = (
+        list(components[:position])
+        + list(redex.produced)
+        + list(components[position + 1 :])
+    )
+    if redex.consumed is not None:
+        parts = _remove_one(parts, redex.consumed)
+    return ReductionStep(
+        redex.label,
+        _rebuild(nf, parts, redex.extra_restricted),
+        redex.from_replication,
+    )
 
 
 def _rebuild(
@@ -282,14 +364,14 @@ def _rebuild(
     return body
 
 
-def _send_step(
+def _send_redex(
     principal: Principal,
     output: Output,
-    build: _Builder,
-    nf: NormalForm,
+    suffix: tuple[System, ...],
+    extra: tuple[Channel, ...],
     mode: SemanticsMode,
-    replicated: bool = False,
-) -> ReductionStep | None:
+    replicated: bool,
+) -> Redex | None:
     channel_id = output.channel
     if not isinstance(channel_id, AnnotatedValue):
         raise OpenTermError({channel_id}, "send subject")
@@ -306,72 +388,92 @@ def _send_step(
     else:
         payload = tuple(output.payload)  # type: ignore[arg-type]
     message = Message(channel_id.value, payload)
-    components, extra = build([message])
     label = SendLabel(
         principal, channel_id.value, tuple(w.value for w in output.payload)
     )
-    return ReductionStep(label, _rebuild(nf, components, extra), replicated)
+    return Redex(label, (message,) + suffix, None, extra, replicated)
 
 
-def _receive_steps(
+def receive_candidates(
     principal: Principal,
     input_sum: InputSum,
-    build: _Builder,
-    nf: NormalForm,
-    messages: list[tuple[int, Message]],
+    message: Message,
+    mode: SemanticsMode,
+) -> Iterator[tuple[int, "InputBranch", ReceiveLabel, dict]]:
+    """The branches of ``input_sum`` that admit ``message``.
+
+    Yields ``(branch_index, branch, label, mapping)`` per admitting branch
+    — the vetting (``κv ⊨ π``), input-event stamping and label
+    construction of R-Recv, with the continuation substitution left to
+    the caller (the from-scratch enumerator substitutes immediately; the
+    incremental engine defers it until the redex is actually fired).
+
+    The caller must guarantee the subject is an annotated channel matching
+    ``message.channel``.
+    """
+
+    channel_id = input_sum.channel
+    for branch_index, branch in enumerate(input_sum.branches):
+        if branch.arity != message.arity:
+            continue
+        if mode is SemanticsMode.TRACKED:
+            admitted = all(
+                pattern.matches(component.provenance)
+                for pattern, component in zip(branch.patterns, message.payload)
+            )
+            if not admitted:
+                continue
+            event = InputEvent(principal, channel_id.provenance)
+            received = tuple(w.record(event) for w in message.payload)
+        else:
+            received = message.payload
+        mapping = dict(zip(branch.binders, received))
+        label = ReceiveLabel(
+            principal,
+            channel_id.value,
+            tuple(w.value for w in message.payload),
+            branch_index,
+        )
+        yield branch_index, branch, label, mapping
+
+
+def _receive_redexes(
+    principal: Principal,
+    input_sum: InputSum,
+    suffix: tuple[System, ...],
+    extra: tuple[Channel, ...],
+    messages: MessageIndex,
     mode: SemanticsMode,
     supply: NameSupply,
-    replicated: bool = False,
-) -> Iterator[ReductionStep]:
+    replicated: bool,
+) -> Iterator[Redex]:
     channel_id = input_sum.channel
     if not isinstance(channel_id, AnnotatedValue):
         raise OpenTermError({channel_id}, "receive subject")
     if not isinstance(channel_id.value, Channel):
         return
 
-    for _, message in messages:
-        if message.channel != channel_id.value:
-            continue
-        for branch_index, branch in enumerate(input_sum.branches):
-            if branch.arity != message.arity:
-                continue
-            if mode is SemanticsMode.TRACKED:
-                admitted = all(
-                    pattern.matches(component.provenance)
-                    for pattern, component in zip(branch.patterns, message.payload)
-                )
-            else:
-                admitted = True
-            if not admitted:
-                continue
-
-            if mode is SemanticsMode.TRACKED:
-                event = InputEvent(principal, channel_id.provenance)
-                received = tuple(w.record(event) for w in message.payload)
-            else:
-                received = message.payload
-            mapping = dict(zip(branch.binders, received))
+    for message in messages.get(channel_id.value, ()):
+        for _, branch, label, mapping in receive_candidates(
+            principal, input_sum, message, mode
+        ):
             continuation = substitute(branch.continuation, mapping, supply)
-            components, extra = build([Located(principal, continuation)])
-            components = _remove_one(components, message)
-            label = ReceiveLabel(
-                principal,
-                channel_id.value,
-                tuple(w.value for w in message.payload),
-                branch_index,
-            )
-            yield ReductionStep(
-                label, _rebuild(nf, components, extra), replicated
+            yield Redex(
+                label,
+                (Located(principal, continuation),) + suffix,
+                message,
+                extra,
+                replicated,
             )
 
 
-def _match_step(
+def _match_redex(
     principal: Principal,
     match: Match,
-    build: _Builder,
-    nf: NormalForm,
-    replicated: bool = False,
-) -> ReductionStep:
+    suffix: tuple[System, ...],
+    extra: tuple[Channel, ...],
+    replicated: bool,
+) -> Redex:
     if not isinstance(match.left, AnnotatedValue):
         raise OpenTermError({match.left}, "match operand")
     if not isinstance(match.right, AnnotatedValue):
@@ -379,9 +481,8 @@ def _match_step(
     # Only plain values are compared; provenance is ignored (R-IFt/R-IFf).
     result = match.left.value == match.right.value
     chosen = match.then_branch if result else match.else_branch
-    components, extra = build([Located(principal, chosen)])
     label = MatchLabel(principal, match.left.value, match.right.value, result)
-    return ReductionStep(label, _rebuild(nf, components, extra), replicated)
+    return Redex(label, (Located(principal, chosen),) + suffix, None, extra, replicated)
 
 
 def _remove_one(components: list[System], message: Message) -> list[System]:

@@ -80,6 +80,8 @@ class ChannelManager:
         self._middleware = middleware
         self._messages: deque[_StoredMessage] = deque()
         self._waiters: list[PendingReceive] = []
+        self._consumed_count = 0
+        self._scan_start = 0
 
     @property
     def queued_messages(self) -> int:
@@ -98,19 +100,36 @@ class ChannelManager:
         self._match()
 
     def _match(self) -> None:
-        """Deliver every (message, waiter, branch) triple that fits."""
+        """Deliver every (message, waiter, branch) triple that fits.
 
-        progress = True
-        while progress:
-            progress = False
-            for waiter in self._waiters:
-                if waiter.consumed:
-                    continue
-                delivery = self._try_deliver(waiter)
-                if delivery:
-                    progress = True
-                    break
-            self._waiters = [w for w in self._waiters if not w.consumed]
+        A single pass in registration order suffices: delivery callbacks
+        never re-enter the manager (nodes *schedule* continuations on the
+        simulator rather than running them inline), and consuming a
+        message can only disable, never enable, an earlier waiter — so
+        nothing a later delivery does can unblock a waiter the pass
+        already skipped.  The old implementation restarted the scan from
+        the first waiter after every delivery, O(waiters²) on fan-in
+        channels; this one is O(waiters) per post, with the consumed
+        prefix skipped and the waiter list compacted lazily.
+        """
+
+        waiters = self._waiters
+        start = self._scan_start
+        while start < len(waiters) and waiters[start].consumed:
+            start += 1
+        self._scan_start = start
+        for index in range(start, len(waiters)):
+            if not self._messages:
+                break
+            waiter = waiters[index]
+            if waiter.consumed:
+                continue
+            if self._try_deliver(waiter):
+                self._consumed_count += 1
+        if self._consumed_count * 2 > len(waiters):
+            self._waiters = [w for w in waiters if not w.consumed]
+            self._consumed_count = 0
+            self._scan_start = 0
 
     def _try_deliver(self, waiter: PendingReceive) -> bool:
         middleware = self._middleware

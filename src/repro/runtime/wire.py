@@ -4,7 +4,9 @@ The provenance-overhead experiments (E13) need honest byte counts, so the
 runtime really serializes what travels: a compact length-prefixed binary
 format for plain values, provenance trees and message payloads.
 
-Layout (all integers are unsigned LEB128 varints)::
+Layout (all integers are *canonical* unsigned LEB128 varints — overlong
+encodings are rejected on decode, so every value has exactly one wire
+form)::
 
     name       ::=  varint(len) utf8-bytes
     plain      ::=  0x43 name            -- 'C', channel
@@ -63,6 +65,14 @@ def encode_varint(value: int) -> bytes:
 
 
 def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one canonical unsigned LEB128 varint at ``offset``.
+
+    Rejects *overlong* encodings (a terminating ``0x00`` byte after one
+    or more continuation bytes, e.g. ``81 00`` for 1 or ``80 00`` for 0):
+    every value must have exactly one wire representation, so byte
+    payloads can be compared and deduplicated without re-encoding.
+    """
+
     result = 0
     shift = 0
     while True:
@@ -72,6 +82,10 @@ def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if byte == 0 and shift > 0:
+                raise WireFormatError(
+                    "non-canonical varint (overlong encoding)"
+                )
             return result, offset
         shift += 7
         if shift > 63:
@@ -106,12 +120,15 @@ def decode_plain(data: bytes, offset: int) -> tuple[PlainValue, int]:
     if offset >= len(data):
         raise WireFormatError("truncated plain value")
     tag = data[offset]
+    # Validate the tag *before* decoding the name: on malformed input the
+    # error should say "unknown tag", not whatever decoding the following
+    # garbage as a length-prefixed name happens to trip over first.
+    if tag not in (_TAG_CHANNEL, _TAG_PRINCIPAL):
+        raise WireFormatError(f"unknown plain-value tag 0x{tag:02x}")
     name, offset = _decode_name(data, offset + 1)
     if tag == _TAG_CHANNEL:
         return Channel(name), offset
-    if tag == _TAG_PRINCIPAL:
-        return Principal(name), offset
-    raise WireFormatError(f"unknown plain-value tag 0x{tag:02x}")
+    return Principal(name), offset
 
 
 def encode_provenance(provenance: Provenance) -> bytes:
@@ -148,13 +165,13 @@ def _decode_event(data: bytes, offset: int) -> tuple[Event, int]:
     if offset >= len(data):
         raise WireFormatError("truncated event")
     tag = data[offset]
+    if tag not in (_TAG_OUTPUT, _TAG_INPUT):
+        raise WireFormatError(f"unknown event tag 0x{tag:02x}")
     name, offset = _decode_name(data, offset + 1)
     nested, offset = decode_provenance(data, offset)
     if tag == _TAG_OUTPUT:
         return OutputEvent(Principal(name), nested), offset
-    if tag == _TAG_INPUT:
-        return InputEvent(Principal(name), nested), offset
-    raise WireFormatError(f"unknown event tag 0x{tag:02x}")
+    return InputEvent(Principal(name), nested), offset
 
 
 def encode_value(value: AnnotatedValue) -> bytes:

@@ -17,6 +17,11 @@ from repro.workloads.random_systems import (
     random_provenance,
     random_system,
 )
+from repro.workloads.scaling import (
+    FanInFanOutWorkload,
+    fan_in_fan_out,
+    sinks_served,
+)
 from repro.workloads.topologies import (
     ChainWorkload,
     MarketWorkload,

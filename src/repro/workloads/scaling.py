@@ -1,0 +1,123 @@
+"""Large fan-in/fan-out scaling scenarios.
+
+The shapes the incremental engine was built for: systems whose redex
+count grows with the component count, so any per-step cost that scans the
+whole system turns quadratic (or worse) over a run.
+
+* :func:`fan_in_fan_out` — ``n`` sources all publish on one shared *hub*
+  channel (the fan-in: every (source, relay) pair is an enabled redex
+  mid-run), ``m`` relays each forward one value to a private sink channel
+  (the fan-out: all forwards are independent).  A full run takes
+  ``n + 3·min(n, m)`` reductions (``n`` hub sends, then one hub receive,
+  one forward and one sink receive per served relay), while a
+  from-scratch enumerator pays O(n·m) *per step* just to list the hub
+  redexes — this is the benchmark workload of
+  ``benchmarks/bench_engine_scaling.py``.
+
+The delivered values carry the full provenance story: a sink's value ends
+with ``sink?ε; relay!ε; relay?ε; source!ε`` — two hops of two events, so
+the scenario also exercises provenance growth under width (cf. the relay
+chain, which grows provenance under depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import ch, inp, located, out, pr, sys_par, var
+from repro.core.names import Channel, Principal
+from repro.core.patterns import Pattern
+from repro.core.system import System, system_annotated_values
+from repro.workloads.topologies import freeze
+
+__all__ = ["FanInFanOutWorkload", "fan_in_fan_out", "sinks_served"]
+
+
+@dataclass(frozen=True, slots=True)
+class FanInFanOutWorkload:
+    """A fan-in/fan-out system and the names needed to assert about it."""
+
+    system: System
+    sources: tuple[Principal, ...]
+    relays: tuple[Principal, ...]
+    sinks: tuple[Principal, ...]
+    hub: Channel
+    sink_channels: tuple[Channel, ...]
+    payloads: tuple[Channel, ...]
+
+    @property
+    def expected_steps(self) -> int:
+        """Reductions of a full run: sends + hub receives + forwards + sink receives."""
+
+        delivered = min(len(self.sources), len(self.relays))
+        return len(self.sources) + 3 * delivered
+
+
+def fan_in_fan_out(
+    n_sources: int,
+    n_relays: int | None = None,
+    relay_pattern: Pattern | None = None,
+) -> FanInFanOutWorkload:
+    """``Πᵢ aᵢ[hub⟨vᵢ⟩] ‖ Πⱼ rⱼ[hub(π as x).outⱼ⟨x⟩] ‖ Πⱼ cⱼ[outⱼ(x).freeze(x)]``.
+
+    ``n_relays`` defaults to ``n_sources`` (every value gets delivered).
+    With ``relay_pattern`` the relays vet the hub values by provenance —
+    the market scenario at scale.
+    """
+
+    if n_sources < 1:
+        raise ValueError("need at least one source")
+    if n_relays is None:
+        n_relays = n_sources
+    if n_relays < 0:
+        raise ValueError("n_relays must be non-negative")
+    hub = ch("hub")
+    sources = tuple(pr(f"src{i + 1}") for i in range(n_sources))
+    payloads = tuple(ch(f"v{i + 1}") for i in range(n_sources))
+    relays = tuple(pr(f"rel{j + 1}") for j in range(n_relays))
+    sinks = tuple(pr(f"snk{j + 1}") for j in range(n_relays))
+    sink_channels = tuple(ch(f"out{j + 1}") for j in range(n_relays))
+    x = var("x")
+
+    components = [
+        located(source, out(hub, payload))
+        for source, payload in zip(sources, payloads)
+    ]
+    binding = (relay_pattern, x) if relay_pattern is not None else x
+    for relay, sink_channel in zip(relays, sink_channels):
+        components.append(
+            located(relay, inp(hub, binding, body=out(sink_channel, x)))
+        )
+    for sink, sink_channel in zip(sinks, sink_channels):
+        components.append(
+            located(sink, inp(sink_channel, x, body=freeze(x)))
+        )
+    return FanInFanOutWorkload(
+        sys_par(*components),
+        sources,
+        relays,
+        sinks,
+        hub,
+        sink_channels,
+        payloads,
+    )
+
+
+def sinks_served(workload: FanInFanOutWorkload, system: System) -> int:
+    """How many distinct source payloads are held at sinks in ``system``.
+
+    Counts values whose plain part is one of the workload's payloads and
+    whose provenance records an input by a sink — the frozen, delivered
+    values (in-flight copies have no sink input event yet).
+    """
+
+    sink_set = set(workload.sinks)
+    payload_set = set(workload.payloads)
+    served: set[Channel] = set()
+    for value in system_annotated_values(system):
+        if value.value not in payload_set:
+            continue
+        events = value.provenance.events
+        if events and events[0].principal in sink_set:
+            served.add(value.value)
+    return len(served)

@@ -1,5 +1,7 @@
 """Tests for strategies, traces and multi-step execution."""
 
+import pytest
+
 from repro.core.builder import ch, inp, located, out, par, pr, rep, sys_par, var
 from repro.core.engine import (
     Engine,
@@ -57,6 +59,25 @@ class TestRun:
         )
         assert trace.status is RunStatus.STOPPED
         assert len(trace) == 3
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_stop_when_at_quiescence_reports_quiescent(self, incremental):
+        # Regression: the docstring promises QUIESCENT when the predicate
+        # fires with no redex remaining; the code used to report STOPPED
+        # unconditionally.
+        # an always-true predicate fires before the first step, while the
+        # system still reduces
+        trace = Engine(incremental=incremental).run(
+            ping_pong(), stop_when=lambda s: True
+        )
+        assert trace.status is RunStatus.STOPPED
+
+        consumed = lambda s: "m<v>" not in str(s) and "m<<" not in str(s)
+        trace = Engine(incremental=incremental).run(
+            parse_system("a[m<v>] || b[m(x).0]"), stop_when=consumed
+        )
+        assert trace.status is RunStatus.QUIESCENT
+        assert len(trace) == 2
 
     def test_observer_sees_every_step(self):
         seen = []

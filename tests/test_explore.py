@@ -51,6 +51,32 @@ class TestExplore:
         lts = explore(parse_system("a[*(m<v>)]"), max_states=5)
         assert not lts.complete
 
+    def test_budget_keeps_edges_between_interned_states(self):
+        # Two identical senders collapse (by canonicalization) onto the
+        # same successor state: with a budget of 2 the second send's edge
+        # targets an *already interned* state and must be kept — the old
+        # implementation aborted the whole exploration and lost it.
+        lts = explore(parse_system("a[m<v>] || a[m<v>]"), max_states=2)
+        assert not lts.complete
+        assert len(lts) == 2
+        edges = [(t.source, t.target) for t in lts.transitions]
+        assert edges.count((0, 1)) == 2
+
+    def test_budget_continues_past_first_new_state_rejection(self):
+        # Diamond: 0 -> {m}, 0 -> {n}, both -> {m,n}.  Budget 3 drops the
+        # top state but must still discover 0 -> {n} and report both
+        # frontier states' kept edges.
+        lts = explore(parse_system("a[m<v>] || b[n<w>]"), max_states=3)
+        assert not lts.complete
+        assert len(lts) == 3
+        sources = {t.source for t in lts.transitions}
+        assert sources == {0}  # states 1 and 2 only lead to the dropped state
+
+    def test_budget_exactly_covering_space_is_complete(self):
+        lts = explore(parse_system("a[m<v>] || b[m(x).0]"), max_states=3)
+        assert lts.complete
+        assert len(lts) == 3
+
     def test_receive_edges_labelled(self):
         lts = explore(parse_system("a[m<v>] || b[m(x).0]"))
         assert any(

@@ -203,3 +203,55 @@ class TestConstructors:
     def test_mentioned_principals_recurse(self):
         p = Sequence(sent_by(A, received_by(B)), sent_by(C))
         assert p.mentioned_principals() == {A, B, C}
+
+
+class TestNFACacheEviction:
+    """The bounded caches: wholesale clear at ``cache_limit``, no stale hits."""
+
+    def _distinct_patterns(self, count):
+        return [sent_by(pr(f"q{i}")) for i in range(count)]
+
+    def test_compiled_cache_never_exceeds_limit(self):
+        matcher = NFAMatcher(cache_limit=4)
+        for pattern in self._distinct_patterns(20):
+            matcher.compiled(pattern)
+            compiled, _ = matcher.cache_sizes()
+            assert compiled <= 4
+
+    def test_decided_cache_never_exceeds_limit(self):
+        matcher = NFAMatcher(cache_limit=4)
+        for index, pattern in enumerate(self._distinct_patterns(20)):
+            matcher.matches(Provenance.of(snd(pr(f"q{index}"))), pattern)
+            _, decided = matcher.cache_sizes()
+            assert decided <= 4
+
+    def test_eviction_clears_wholesale(self):
+        matcher = NFAMatcher(cache_limit=3)
+        patterns = self._distinct_patterns(3)
+        for pattern in patterns:
+            matcher.compiled(pattern)
+        assert matcher.cache_sizes()[0] == 3
+        # the next distinct pattern trips the limit: clear, then insert one
+        matcher.compiled(sent_by(pr("fresh")))
+        assert matcher.cache_sizes()[0] == 1
+
+    def test_results_correct_across_evictions(self):
+        matcher = NFAMatcher(cache_limit=2)
+        provenance = Provenance.of(snd(A))
+        yes, no = sent_by(A), sent_by(B)
+        for _ in range(10):
+            assert matcher.matches(provenance, yes)
+            assert not matcher.matches(provenance, no)
+            # churn the caches with distinct patterns
+            for pattern in self._distinct_patterns(5):
+                matcher.matches(provenance, pattern)
+
+    def test_repeated_queries_hit_the_cache(self):
+        matcher = NFAMatcher(cache_limit=1 << 10)
+        pattern = sent_by(A)
+        provenance = Provenance.of(snd(A))
+        matcher.matches(provenance, pattern)
+        sizes = matcher.cache_sizes()
+        for _ in range(5):
+            matcher.matches(provenance, pattern)
+        assert matcher.cache_sizes() == sizes

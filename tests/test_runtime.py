@@ -123,6 +123,48 @@ class TestWire:
         with pytest.raises(WireFormatError):
             decode_value(junk)
 
+    def test_varint_round_trip_is_canonical(self):
+        from repro.runtime.wire import decode_varint, encode_varint
+
+        for value in (0, 1, 127, 128, 300, 1 << 20, (1 << 63) - 1):
+            encoded = encode_varint(value)
+            assert decode_varint(encoded, 0) == (value, len(encoded))
+
+    @pytest.mark.parametrize(
+        "overlong",
+        [
+            b"\x80\x00",  # 0 in two bytes
+            b"\x81\x00",  # 1 in two bytes
+            b"\xff\x80\x00",  # trailing zero-continuation padding
+        ],
+    )
+    def test_overlong_varint_rejected(self, overlong):
+        from repro.runtime.wire import decode_varint
+
+        with pytest.raises(WireFormatError, match="non-canonical"):
+            decode_varint(overlong, 0)
+
+    def test_single_zero_byte_is_canonical_zero(self):
+        from repro.runtime.wire import decode_varint
+
+        assert decode_varint(b"\x00", 0) == (0, 1)
+
+    def test_unknown_plain_tag_reported_before_name_decode(self):
+        # Bad tag followed by garbage that would die as a "truncated
+        # name": the tag check must win so the error points at the real
+        # problem.
+        from repro.runtime.wire import decode_plain
+
+        with pytest.raises(WireFormatError, match="unknown plain-value tag"):
+            decode_plain(b"\x7a\xff\xff\xff", 0)
+
+    def test_unknown_event_tag_reported_before_name_decode(self):
+        from repro.runtime.wire import decode_provenance
+
+        # one event whose tag byte is invalid, then an overlong length
+        with pytest.raises(WireFormatError, match="unknown event tag"):
+            decode_provenance(b"\x01\x5a\xff\xff", 0)
+
 
 class TestMiddleware:
     def test_runtime_delivery_matches_calculus_provenance(self):
@@ -233,3 +275,39 @@ class TestAdversary:
         captured = (annotate(V, Provenance.of(OutputEvent(A, EMPTY))),)
         adversary = ForgingAdversary(B, runtime.middleware)
         assert not adversary.replay(M, captured)
+
+
+class TestScalingWorkload:
+    """The fan-in/fan-out scenario deployed on the simulated cluster."""
+
+    def test_fan_in_fan_out_delivers_everything(self):
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(25)
+        runtime = DistributedRuntime(seed=7)
+        runtime.deploy(workload.system)
+        runtime.run()
+        # 25 hub sends + 25 relay forwards; 25 hub receives + 25 sink receives
+        assert runtime.metrics.messages_sent == 50
+        assert runtime.metrics.deliveries == 50
+        # every sink ends blocked inside its freeze continuation
+        assert runtime.blocked_threads() == 25
+
+    def test_fan_in_fan_out_provenance_depth(self):
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(4)
+        runtime = DistributedRuntime(seed=7)
+        runtime.deploy(workload.system)
+        runtime.run()
+        # delivered values carry src! ; rel? ; rel! ; snk? — four events
+        assert runtime.metrics.summary()["max_provenance_spine"] == 4
+
+    def test_runtime_and_engine_agree_on_served_payloads(self):
+        from repro.core.engine import Engine, RunStatus
+        from repro.workloads import fan_in_fan_out, sinks_served
+
+        workload = fan_in_fan_out(8, n_relays=5)
+        trace = Engine().run(workload.system)
+        assert trace.status is RunStatus.QUIESCENT
+        assert sinks_served(workload, trace.final) == 5

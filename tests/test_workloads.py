@@ -131,3 +131,57 @@ class TestRandomSystems:
     def test_generated_systems_reduce_without_errors(self, seed):
         trace = run(random_system(seed), max_steps=25)
         assert trace.status in (RunStatus.QUIESCENT, RunStatus.MAX_STEPS)
+
+
+class TestFanInFanOut:
+    def test_full_run_shape(self):
+        from repro.workloads import fan_in_fan_out, sinks_served
+
+        workload = fan_in_fan_out(5)
+        trace = run(workload.system)
+        assert trace.status is RunStatus.QUIESCENT
+        assert len(trace) == workload.expected_steps == 20
+        assert sinks_served(workload, trace.final) == 5
+
+    def test_fewer_relays_than_sources(self):
+        from repro.core.system import messages_of
+        from repro.workloads import fan_in_fan_out, sinks_served
+
+        workload = fan_in_fan_out(6, n_relays=2)
+        trace = run(workload.system)
+        assert trace.status is RunStatus.QUIESCENT
+        assert sinks_served(workload, trace.final) == 2
+        # the four unconsumed offers stay in flight on the hub
+        leftover = [
+            m for m in messages_of(trace.final) if m.channel == workload.hub
+        ]
+        assert len(leftover) == 4
+
+    def test_relay_pattern_vets_the_hub(self):
+        from repro.patterns.parse import parse_pattern
+        from repro.workloads import fan_in_fan_out, sinks_served
+
+        workload = fan_in_fan_out(
+            3, relay_pattern=parse_pattern("src1!any")
+        )
+        trace = run(workload.system)
+        assert trace.status is RunStatus.QUIESCENT
+        # only src1's value passes vetting; the other relays stay blocked
+        assert sinks_served(workload, trace.final) == 1
+
+    def test_system_is_closed_and_deterministic(self):
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(7)
+        assert system_free_variables(workload.system) == frozenset()
+        assert workload.system == fan_in_fan_out(7).system
+
+    def test_invalid_sizes_rejected(self):
+        import pytest
+
+        from repro.workloads import fan_in_fan_out
+
+        with pytest.raises(ValueError):
+            fan_in_fan_out(0)
+        with pytest.raises(ValueError):
+            fan_in_fan_out(3, n_relays=-1)
