@@ -22,6 +22,23 @@ def record_row(experiment: str, row: str) -> None:
     _ROWS[experiment].append(row)
 
 
+def record_sharing(experiment: str, label: str, tree: int, dag: int) -> None:
+    """Record a provenance tree-size vs DAG-size ratio.
+
+    Timings alone miss the memory half of structural sharing: a run can
+    stay fast while its semantic trees balloon.  Benches that build
+    provenance at scale report both sizes so the perf trajectory captures
+    how much of the tree the hash-consed representation actually shares.
+    """
+
+    ratio = tree / dag if dag else 1.0
+    record_row(
+        experiment,
+        f"{label}: tree={tree} events, dag={dag} unique, "
+        f"sharing={ratio:.1f}x",
+    )
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _ROWS:
         return

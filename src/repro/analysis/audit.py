@@ -45,7 +45,11 @@ class CustodyStep:
 
 
 def involved_principals(provenance: Provenance) -> frozenset[Principal]:
-    """Every principal implicated by the provenance (nested included)."""
+    """Every principal implicated by the provenance (nested included).
+
+    O(1): the set is memoized on the interned provenance node, so audits
+    over deeply shared DAGs never re-walk nested channel provenances.
+    """
 
     return provenance.principals()
 
@@ -54,15 +58,17 @@ def custody_chain(provenance: Provenance) -> list[CustodyStep]:
     """Spine events in chronological (oldest-first) order.
 
     Only the spine: events inside channel provenances concern the channels
-    used, not the value's own custody.
+    used, not the value's own custody.  Walks the shared cons-list spine
+    once, without materializing a tuple.
     """
 
     steps = []
-    for event in reversed(provenance.events):
+    for event in provenance:
         if isinstance(event, OutputEvent):
             steps.append(CustodyStep(event.principal, "sent"))
         elif isinstance(event, InputEvent):
             steps.append(CustodyStep(event.principal, "received"))
+    steps.reverse()
     return steps
 
 

@@ -71,23 +71,53 @@ class DisclosurePolicy:
         return existing
 
     def redact(self, provenance: Provenance) -> Provenance:
-        """The viewer-facing version of ``provenance``."""
+        """The viewer-facing version of ``provenance``.
 
+        DAG-aware: provenance nodes and events are interned, so a shared
+        subtree is redacted once per call and every further occurrence is
+        a memo hit keyed on the node's identity — redaction is O(DAG)
+        rather than O(tree).  (Within a call pseudonyms are stable, and
+        across calls they are persisted on the policy, so memoization
+        cannot change first-use numbering.)
+        """
+
+        return self._redact(provenance, {}, {})
+
+    def _redact(
+        self,
+        provenance: Provenance,
+        prov_memo: dict[Provenance, Provenance],
+        event_memo: dict[Event, Event | None],
+    ) -> Provenance:
+        done = prov_memo.get(provenance)
+        if done is not None:
+            return done
         events = []
-        for event in provenance.events:
-            redacted = self._redact_event(event)
+        for event in provenance:
+            if event in event_memo:
+                redacted = event_memo[event]
+            else:
+                redacted = self._redact_event(event, prov_memo, event_memo)
+                event_memo[event] = redacted
             if redacted is not None:
                 events.append(redacted)
-        return Provenance(tuple(events))
+        result = Provenance(tuple(events))
+        prov_memo[provenance] = result
+        return result
 
-    def _redact_event(self, event: Event) -> Event | None:
+    def _redact_event(
+        self,
+        event: Event,
+        prov_memo: dict[Provenance, Provenance],
+        event_memo: dict[Event, Event | None],
+    ) -> Event | None:
         level = self.level_of(event.principal)
         if level is Disclosure.DROP:
             return None
         constructor = OutputEvent if isinstance(event, OutputEvent) else InputEvent
         if level is Disclosure.HIDE_CHANNELS:
             return constructor(event.principal, EMPTY)
-        nested = self.redact(event.channel_provenance)
+        nested = self._redact(event.channel_provenance, prov_memo, event_memo)
         if level is Disclosure.ANONYMIZE:
             return constructor(self.pseudonym(event.principal), nested)
         return constructor(event.principal, nested)

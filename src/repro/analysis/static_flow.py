@@ -37,6 +37,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Optional
 
 from repro.core.congruence import normalize
@@ -120,9 +121,9 @@ def abstract_provenance(
     if nesting < 0:
         return UNKNOWN_PROV
     events = []
-    for event in provenance.events[:k]:
+    for event in islice(provenance, k):
         events.append(_abstract_event(event, k, nesting))
-    return AbsProv(tuple(events), truncated=len(provenance.events) > k)
+    return AbsProv(tuple(events), truncated=len(provenance) > k)
 
 
 def _abstract_event(event: Event, k: int, nesting: int) -> AbsEvent:

@@ -64,8 +64,9 @@ class TrustModel:
 
     def _implicated(self, provenance: Provenance) -> frozenset[Principal]:
         if self.include_channel_provenance:
+            # Memoized on the interned node — O(1) per scored value.
             return provenance.principals()
-        spine = frozenset(event.principal for event in provenance.events)
+        spine = frozenset(event.principal for event in provenance)
         return spine
 
     def score(self, provenance: Provenance) -> float:

@@ -100,7 +100,7 @@ def all_system_names(system: System) -> set[str]:
             names.add(identifier.name)
         else:
             names.add(identifier.value.name)
-            for event in identifier.provenance.events:
+            for event in identifier.provenance:
                 names.add(event.principal.name)
 
     def visit_process(p: Process) -> None:

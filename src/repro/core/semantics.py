@@ -13,6 +13,13 @@ of the transmitted values exactly once:
 plus **R-IFt/R-IFf** (plain-value equality, provenance ignored) and the
 usual closure under restriction, composition and structural congruence.
 
+Both provenance updates go through the hash-consing intern table of
+:mod:`repro.core.provenance`: constructing the event and prepending it
+(``AnnotatedValue.record``) are O(1) and return canonical shared nodes,
+so stamping is constant-time no matter how long a value's history grows
+— on both this from-scratch path and the incremental engine, which build
+identical (indeed, *the same*) provenance objects.
+
 :func:`enumerate_steps` returns *every* redex of a system up to structural
 congruence, as :class:`ReductionStep` objects carrying a descriptive label
 (consumed by the monitored semantics to build global logs) and the

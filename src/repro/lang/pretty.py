@@ -47,7 +47,7 @@ __all__ = [
 def pretty_provenance(provenance: Provenance) -> str:
     """``{a!{}; b?{a!{}}}`` — always braced, empty provenance is ``{}``."""
 
-    inner = "; ".join(_pretty_event(event) for event in provenance.events)
+    inner = "; ".join(_pretty_event(event) for event in provenance)
     return "{" + inner + "}"
 
 

@@ -63,30 +63,41 @@ def denote(
     ``value`` may be any log term: plain values for ordinary data, ``?``
     for values whose plain part is a private (non-log-visible) channel,
     and variables during recursive calls.
+
+    The spine is walked iteratively (Python recursion is spent on
+    *nesting* depth only), so the denotation scales to the million-event
+    spines the hash-consed representation makes cheap to build.  Note
+    that shared provenance subtrees can NOT be denoted once and reused:
+    Definition 2 introduces a fresh existential channel variable per
+    event *occurrence*, so the log is genuinely tree-sized even when the
+    provenance is a compact DAG — the denotation enumerates assertions,
+    not structure.
     """
 
     if fresh is None:
         fresh = FreshVariables()
-    return _denote(value, tuple(provenance.events), fresh)
+    return _denote(value, provenance, fresh)
 
 
-def _denote(value: LogTerm, events: tuple[Event, ...], fresh: FreshVariables) -> Log:
-    if not events:
-        return EMPTY_LOG
-    head, rest = events[0], events[1:]
-    channel_variable = fresh.fresh()
-    if isinstance(head, OutputEvent):
-        kind = ActionKind.SND
-    elif isinstance(head, InputEvent):
-        kind = ActionKind.RCV
-    else:
-        raise TypeError(f"not an event: {head!r}")
-    action = Action(kind, head.principal, (channel_variable, value))
-    remainder = log_par(
-        _denote(value, rest, fresh),
-        _denote(channel_variable, tuple(head.channel_provenance.events), fresh),
-    )
-    return LogAction(action, remainder)
+def _denote(value: LogTerm, provenance: Provenance, fresh: FreshVariables) -> Log:
+    # Fresh-variable order matches the historical recursive definition:
+    # one variable per spine event front-to-back, then the nested channel
+    # provenances denoted back-to-front while the log is folded up.
+    spine: list[tuple[ActionKind, Event, Variable]] = []
+    for event in provenance:
+        if isinstance(event, OutputEvent):
+            kind = ActionKind.SND
+        elif isinstance(event, InputEvent):
+            kind = ActionKind.RCV
+        else:
+            raise TypeError(f"not an event: {event!r}")
+        spine.append((kind, event, fresh.fresh()))
+    log: Log = EMPTY_LOG
+    for kind, event, channel_variable in reversed(spine):
+        action = Action(kind, event.principal, (channel_variable, value))
+        nested = _denote(channel_variable, event.channel_provenance, fresh)
+        log = LogAction(action, log_par(log, nested))
+    return log
 
 
 def denote_all(

@@ -37,13 +37,25 @@ from repro.patterns.ast import (
 __all__ = ["naive_matches"]
 
 
+_NestedMemo = dict[tuple["Provenance", SamplePattern], bool]
+
+
 def naive_matches(provenance: Provenance, pattern: SamplePattern) -> bool:
-    """Decide ``κ ⊨ π`` by direct rule application (exponential)."""
+    """Decide ``κ ⊨ π`` by direct rule application (exponential).
 
-    return _matches(provenance.events, pattern)
+    The split search over the spine is deliberately left exponential (it
+    is the transcription of S-Cat/S-Rep), but nested channel-provenance
+    tests — a *pure* sub-decision ``κ' ⊨ π'`` — are memoized per call on
+    the interned ``(provenance, pattern)`` pair, so shared subtrees of
+    the provenance DAG are decided once instead of once per occurrence.
+    """
+
+    return _matches(tuple(provenance), pattern, {})
 
 
-def _matches(events: tuple[Event, ...], pattern: SamplePattern) -> bool:
+def _matches(
+    events: tuple[Event, ...], pattern: SamplePattern, nested: _NestedMemo
+) -> bool:
     if isinstance(pattern, AnyPattern):
         # S-Any
         return True
@@ -62,17 +74,26 @@ def _matches(events: tuple[Event, ...], pattern: SamplePattern) -> bool:
             return False
         if not pattern.group.contains(event.principal):
             return False
-        return _matches(event.channel_provenance.events, pattern.channel_pattern)
+        key = (event.channel_provenance, pattern.channel_pattern)
+        decided = nested.get(key)
+        if decided is None:
+            decided = _matches(
+                tuple(event.channel_provenance), pattern.channel_pattern, nested
+            )
+            nested[key] = decided
+        return decided
     if isinstance(pattern, Sequence):
         # S-Cat: try every split point, including the empty extremes.
         return any(
-            _matches(events[:i], pattern.left)
-            and _matches(events[i:], pattern.right)
+            _matches(events[:i], pattern.left, nested)
+            and _matches(events[i:], pattern.right, nested)
             for i in range(len(events) + 1)
         )
     if isinstance(pattern, Alternation):
         # S-AltL / S-AltR
-        return _matches(events, pattern.left) or _matches(events, pattern.right)
+        return _matches(events, pattern.left, nested) or _matches(
+            events, pattern.right, nested
+        )
     if isinstance(pattern, Repetition):
         # S-Rep: zero chunks matches the empty provenance; otherwise peel a
         # non-empty first chunk (empty chunks never change the residue, so
@@ -81,7 +102,8 @@ def _matches(events: tuple[Event, ...], pattern: SamplePattern) -> bool:
         if not events:
             return True
         return any(
-            _matches(events[:i], pattern.body) and _matches(events[i:], pattern)
+            _matches(events[:i], pattern.body, nested)
+            and _matches(events[i:], pattern, nested)
             for i in range(1, len(events) + 1)
         )
     raise TypeError(f"not a sample pattern: {pattern!r}")

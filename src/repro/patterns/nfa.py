@@ -12,6 +12,10 @@ decide ``κ ⊨ π`` by subset simulation:
 * nested channel-provenance tests recurse into the same matcher, memoized
   on ``(provenance, pattern)`` so repeated sub-derivations (ubiquitous —
   channel provenances are shared across events) are decided once.
+  Provenances are hash-consed (:mod:`repro.core.provenance`): cache keys
+  hash in O(1) off the memoized structural hash, compare by identity, and
+  a subtree shared across the provenance DAG hits the cache on every
+  occurrence after the first — the matcher is O(DAG), not O(tree).
 
 The matcher is a class so caches have an owner and tests can measure cold
 and warm behaviour; a process-wide :func:`default_matcher` instance serves
@@ -158,7 +162,7 @@ class NFAMatcher:
     def _simulate(self, provenance: Provenance, pattern: SamplePattern) -> bool:
         nfa = self.compiled(pattern)
         states = nfa.epsilon_closure(frozenset((nfa.start,)))
-        for event in provenance.events:
+        for event in provenance:
             moved: set[int] = set()
             for state in states:
                 for test, target in nfa.edges[state]:

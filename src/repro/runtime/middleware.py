@@ -38,7 +38,14 @@ from repro.core.values import AnnotatedValue
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
 from repro.runtime.network import Network
 from repro.runtime.simulator import Simulator
-from repro.runtime.wire import encode_payload, encode_provenance
+from repro.runtime.wire import (
+    WIRE_V1,
+    WIRE_V2,
+    encode_plain,
+    encode_payload,
+    encode_payload_v2,
+    encode_varint,
+)
 
 __all__ = ["ReceiveBranch", "PendingReceive", "ChannelManager", "Middleware"]
 
@@ -169,12 +176,16 @@ class Middleware:
         metrics: Optional[RuntimeMetrics] = None,
         mode: SemanticsMode = SemanticsMode.TRACKED,
         enforce_integrity: bool = True,
+        wire_version: int = WIRE_V2,
     ) -> None:
+        if wire_version not in (WIRE_V1, WIRE_V2):
+            raise ValueError(f"unknown wire version {wire_version}")
         self.simulator = simulator
         self.network = network
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self.mode = mode
         self.enforce_integrity = enforce_integrity
+        self.wire_version = wire_version
         self.supply = NameSupply()
         self._managers: dict[Channel, ChannelManager] = {}
 
@@ -242,11 +253,17 @@ class Middleware:
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot send on non-channel {channel.value!r}")
         stamped = self.stamp_output(principal, channel.provenance, payload)
-        provenance_bytes = sum(
-            len(encode_provenance(value.provenance)) for value in stamped
+        # Honest E13 accounting: provenance bytes are whatever the chosen
+        # codec ships beyond the plain parts (under v2 shared subtrees
+        # are shipped once, so the metadata tax reflects the DAG size).
+        if self.wire_version == WIRE_V1:
+            total_bytes = len(encode_payload(stamped))
+        else:
+            total_bytes = len(encode_payload_v2(stamped))
+        plain_bytes = len(encode_varint(len(stamped))) + sum(
+            len(encode_plain(value.value)) for value in stamped
         )
-        total_bytes = len(encode_payload(stamped))
-        self.metrics.record_send(total_bytes - provenance_bytes, provenance_bytes)
+        self.metrics.record_send(plain_bytes, total_bytes - plain_bytes)
         destination = self.manager(channel.value)
         posted_at = self.simulator.now
         self.network.deliver(

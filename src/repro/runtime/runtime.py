@@ -23,6 +23,7 @@ from repro.runtime.middleware import Middleware
 from repro.runtime.network import LatencyModel, Network
 from repro.runtime.node import Node
 from repro.runtime.simulator import Simulator
+from repro.runtime.wire import WIRE_V2
 
 __all__ = ["DistributedRuntime"]
 
@@ -38,6 +39,7 @@ class DistributedRuntime:
         enforce_integrity: bool = True,
         replication_budget: int = 4,
         processing_delay: float = 0.0,
+        wire_version: int = WIRE_V2,
     ) -> None:
         self.simulator = Simulator(seed)
         self.network = Network(self.simulator, latency)
@@ -48,6 +50,7 @@ class DistributedRuntime:
             self.metrics,
             mode=mode,
             enforce_integrity=enforce_integrity,
+            wire_version=wire_version,
         )
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay

@@ -4,9 +4,9 @@ The provenance-overhead experiments (E13) need honest byte counts, so the
 runtime really serializes what travels: a compact length-prefixed binary
 format for plain values, provenance trees and message payloads.
 
-Layout (all integers are *canonical* unsigned LEB128 varints — overlong
-encodings are rejected on decode, so every value has exactly one wire
-form)::
+v1 — the tree format (all integers are *canonical* unsigned LEB128
+varints — overlong encodings are rejected on decode, so every value has
+exactly one wire form)::
 
     name       ::=  varint(len) utf8-bytes
     plain      ::=  0x43 name            -- 'C', channel
@@ -17,16 +17,48 @@ form)::
     value      ::=  plain provenance     -- an annotated value
     payload    ::=  varint(k) value*k
 
+v2 — the back-reference format.  Provenance values are hash-consed DAGs
+(:mod:`repro.core.provenance`); v1 flattens the sharing away and ships
+the full tree, which goes superlinear on deep relay/fan-in chains.  v2
+writes each distinct spine node and event *once*, inline at its first
+occurrence, and every later occurrence as a varint back-reference into a
+table indexed in encounter (post-)order.  Events and spine nodes have
+separate index spaces; tables are shared across a whole payload, so
+values whose provenances share structure (the common case: every value
+stamped by the same send) share bytes too::
+
+    prov2      ::=  varint(0)                -- ε
+               |    varint(1) event2 prov2   -- cons: head, then tail
+               |    varint(2+i)              -- back-ref: spine node #i
+    event2     ::=  varint(0) name prov2     -- output event, inline
+               |    varint(1) name prov2     -- input event, inline
+               |    varint(2+i)              -- back-ref: event #i
+    value2     ::=  plain prov2
+    payload2   ::=  varint(k) value2*k       -- one shared table pair
+
+Nodes enter the tables bottom-up (a node is registered after its
+children are written), so a back-reference always points strictly
+backwards and decoding needs no fixups; decoded aliases are *identity*
+— shared subtrees come back as the same interned node.  On a short
+spine with nothing shared, v2 costs about one tag byte per event more
+than v1 (per-node tags instead of one count); the win appears as soon
+as histories nest or repeat, and grows without bound — see
+``benchmarks/bench_provenance_sharing.py`` for the curve.
+
+:func:`encode_message`/:func:`decode_message` wrap either format in a
+one-byte version envelope so both generations can interoperate.
+
 The codec is total on well-formed inputs and raises
-:class:`~repro.core.errors.WireFormatError` on malformed bytes; encode/
-decode round-trips are property-tested.
+:class:`~repro.core.errors.WireFormatError` on malformed bytes (including
+hostile length/count fields claiming more items than the remaining bytes
+could possibly hold); encode/decode round-trips are property-tested.
 """
 
 from __future__ import annotations
 
 from repro.core.errors import WireFormatError
 from repro.core.names import Channel, PlainValue, Principal
-from repro.core.provenance import Event, InputEvent, OutputEvent, Provenance
+from repro.core.provenance import EMPTY, Event, InputEvent, OutputEvent, Provenance
 from repro.core.values import AnnotatedValue
 
 __all__ = [
@@ -40,12 +72,35 @@ __all__ = [
     "decode_value",
     "encode_payload",
     "decode_payload",
+    "encode_provenance_v2",
+    "decode_provenance_v2",
+    "encode_payload_v2",
+    "decode_payload_v2",
+    "encode_message",
+    "decode_message",
+    "WIRE_V1",
+    "WIRE_V2",
 ]
 
 _TAG_CHANNEL = 0x43
 _TAG_PRINCIPAL = 0x50
 _TAG_OUTPUT = 0x21
 _TAG_INPUT = 0x3F
+
+WIRE_V1 = 1
+"""Version byte of the tree format (no sharing)."""
+
+WIRE_V2 = 2
+"""Version byte of the back-reference format (DAG sharing)."""
+
+# The smallest possible wire forms: an event is at least a tag byte, an
+# empty name (1-byte length) and an empty nested provenance (1-byte
+# count); a value is at least a plain tag, an empty name and an empty
+# provenance.  Any count field claiming more items than the remaining
+# bytes divided by these minima is hostile or truncated input, and is
+# rejected *before* any allocation proportional to the claim.
+_MIN_EVENT_BYTES = 3
+_MIN_VALUE_BYTES = 3
 
 
 def encode_varint(value: int) -> bytes:
@@ -132,8 +187,8 @@ def decode_plain(data: bytes, offset: int) -> tuple[PlainValue, int]:
 
 
 def encode_provenance(provenance: Provenance) -> bytes:
-    out = bytearray(encode_varint(len(provenance.events)))
-    for event in provenance.events:
+    out = bytearray(encode_varint(len(provenance)))
+    for event in provenance:
         out += _encode_event(event)
     return bytes(out)
 
@@ -154,6 +209,11 @@ def _encode_event(event: Event) -> bytes:
 
 def decode_provenance(data: bytes, offset: int) -> tuple[Provenance, int]:
     count, offset = decode_varint(data, offset)
+    if count > (len(data) - offset) // _MIN_EVENT_BYTES:
+        raise WireFormatError(
+            f"truncated provenance: {count} events claimed but only "
+            f"{len(data) - offset} bytes remain"
+        )
     events = []
     for _ in range(count):
         event, offset = _decode_event(data, offset)
@@ -193,8 +253,207 @@ def encode_payload(payload: tuple[AnnotatedValue, ...]) -> bytes:
 
 def decode_payload(data: bytes, offset: int = 0) -> tuple[tuple[AnnotatedValue, ...], int]:
     count, offset = decode_varint(data, offset)
+    if count > (len(data) - offset) // _MIN_VALUE_BYTES:
+        raise WireFormatError(
+            f"truncated payload: {count} values claimed but only "
+            f"{len(data) - offset} bytes remain"
+        )
     values = []
     for _ in range(count):
         value, offset = decode_value(data, offset)
         values.append(value)
     return tuple(values), offset
+
+
+# ---------------------------------------------------------------------------
+# v2: back-reference encoding over the provenance DAG
+# ---------------------------------------------------------------------------
+
+_V2_EMPTY = 0
+_V2_CONS = 1
+_V2_OUTPUT = 0
+_V2_INPUT = 1
+_V2_REF_BASE = 2
+
+
+class _V2Encoder:
+    """Streams provenance DAGs with first-occurrence-inline sharing.
+
+    One encoder per payload: the tables persist across values, so
+    cross-value sharing (ubiquitous — all values of a send are stamped
+    with the same event) collapses to back-references.
+    """
+
+    __slots__ = ("_spine_ids", "_event_ids")
+
+    def __init__(self) -> None:
+        self._spine_ids: dict[Provenance, int] = {}
+        self._event_ids: dict[Event, int] = {}
+
+    def encode_provenance(self, provenance: Provenance, out: bytearray) -> None:
+        # Iterative over the spine: recursion is spent on nesting depth
+        # only, so million-event spines encode without blowing the stack.
+        chain: list[Provenance] = []
+        node = provenance
+        while True:
+            ref = self._spine_ids.get(node)
+            if ref is not None:
+                out += encode_varint(_V2_REF_BASE + ref)
+                break
+            if node.is_empty:
+                out += encode_varint(_V2_EMPTY)
+                break
+            chain.append(node)
+            out += encode_varint(_V2_CONS)
+            self._encode_event(node.head, out)
+            node = node.tail
+        # Register post-order (deepest suffix first), matching the
+        # decoder's construction order.
+        for registered in reversed(chain):
+            self._spine_ids[registered] = len(self._spine_ids)
+
+    def _encode_event(self, event: Event, out: bytearray) -> None:
+        ref = self._event_ids.get(event)
+        if ref is not None:
+            out += encode_varint(_V2_REF_BASE + ref)
+            return
+        if isinstance(event, OutputEvent):
+            out += encode_varint(_V2_OUTPUT)
+        elif isinstance(event, InputEvent):
+            out += encode_varint(_V2_INPUT)
+        else:
+            raise WireFormatError(f"not an event: {event!r}")
+        out += _encode_name(event.principal.name)
+        self.encode_provenance(event.channel_provenance, out)
+        self._event_ids[event] = len(self._event_ids)
+
+
+class _V2Decoder:
+    """Rebuilds the DAG; aliases decode to identical interned nodes."""
+
+    __slots__ = ("_spines", "_events")
+
+    def __init__(self) -> None:
+        self._spines: list[Provenance] = []
+        self._events: list[Event] = []
+
+    def decode_provenance(
+        self, data: bytes, offset: int
+    ) -> tuple[Provenance, int]:
+        events: list[Event] = []
+        while True:
+            tag, offset = decode_varint(data, offset)
+            if tag == _V2_EMPTY:
+                node = EMPTY
+                break
+            if tag >= _V2_REF_BASE:
+                index = tag - _V2_REF_BASE
+                if index >= len(self._spines):
+                    raise WireFormatError(
+                        f"provenance back-reference #{index} out of range"
+                    )
+                node = self._spines[index]
+                break
+            event, offset = self._decode_event(data, offset)
+            events.append(event)
+        for event in reversed(events):
+            node = node.cons(event)
+            self._spines.append(node)
+        return node, offset
+
+    def _decode_event(self, data: bytes, offset: int) -> tuple[Event, int]:
+        tag, offset = decode_varint(data, offset)
+        if tag >= _V2_REF_BASE:
+            index = tag - _V2_REF_BASE
+            if index >= len(self._events):
+                raise WireFormatError(
+                    f"event back-reference #{index} out of range"
+                )
+            return self._events[index], offset
+        if tag not in (_V2_OUTPUT, _V2_INPUT):
+            raise WireFormatError(f"unknown v2 event tag {tag}")
+        name, offset = _decode_name(data, offset)
+        nested, offset = self.decode_provenance(data, offset)
+        constructor = OutputEvent if tag == _V2_OUTPUT else InputEvent
+        event = constructor(Principal(name), nested)
+        self._events.append(event)
+        return event, offset
+
+
+def encode_provenance_v2(provenance: Provenance) -> bytes:
+    """Encode one provenance in the v2 back-reference format."""
+
+    out = bytearray()
+    _V2Encoder().encode_provenance(provenance, out)
+    return bytes(out)
+
+
+def decode_provenance_v2(data: bytes, offset: int = 0) -> tuple[Provenance, int]:
+    """Decode one v2 provenance; shared subtrees intern to one node."""
+
+    return _V2Decoder().decode_provenance(data, offset)
+
+
+def encode_payload_v2(payload: tuple[AnnotatedValue, ...]) -> bytes:
+    """Encode a payload with one back-reference table pair across values."""
+
+    out = bytearray(encode_varint(len(payload)))
+    encoder = _V2Encoder()
+    for value in payload:
+        out += encode_plain(value.value)
+        encoder.encode_provenance(value.provenance, out)
+    return bytes(out)
+
+
+def decode_payload_v2(
+    data: bytes, offset: int = 0
+) -> tuple[tuple[AnnotatedValue, ...], int]:
+    count, offset = decode_varint(data, offset)
+    if count > (len(data) - offset) // _MIN_VALUE_BYTES:
+        raise WireFormatError(
+            f"truncated payload: {count} values claimed but only "
+            f"{len(data) - offset} bytes remain"
+        )
+    decoder = _V2Decoder()
+    values = []
+    for _ in range(count):
+        plain_value, offset = decode_plain(data, offset)
+        provenance, offset = decoder.decode_provenance(data, offset)
+        values.append(AnnotatedValue(plain_value, provenance))
+    return tuple(values), offset
+
+
+# ---------------------------------------------------------------------------
+# Version envelope
+# ---------------------------------------------------------------------------
+
+
+def encode_message(
+    payload: tuple[AnnotatedValue, ...], version: int = WIRE_V2
+) -> bytes:
+    """A payload under a one-byte version header (v1 tree or v2 DAG)."""
+
+    if version == WIRE_V1:
+        return bytes((WIRE_V1,)) + encode_payload(payload)
+    if version == WIRE_V2:
+        return bytes((WIRE_V2,)) + encode_payload_v2(payload)
+    raise WireFormatError(f"unknown wire version {version}")
+
+
+def decode_message(data: bytes) -> tuple[AnnotatedValue, ...]:
+    """Decode a version-enveloped payload, rejecting trailing garbage."""
+
+    if not data:
+        raise WireFormatError("empty message")
+    version = data[0]
+    if version == WIRE_V1:
+        payload, offset = decode_payload(data, 1)
+    elif version == WIRE_V2:
+        payload, offset = decode_payload_v2(data, 1)
+    else:
+        raise WireFormatError(f"unknown wire version {version}")
+    if offset != len(data):
+        raise WireFormatError(
+            f"{len(data) - offset} trailing bytes after payload"
+        )
+    return payload

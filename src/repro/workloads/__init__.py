@@ -18,7 +18,9 @@ from repro.workloads.random_systems import (
     random_system,
 )
 from repro.workloads.scaling import (
+    ChannelRelayWorkload,
     FanInFanOutWorkload,
+    channel_relay_chain,
     fan_in_fan_out,
     sinks_served,
 )

@@ -14,23 +14,40 @@ whole system turns quadratic (or worse) over a run.
   redexes — this is the benchmark workload of
   ``benchmarks/bench_engine_scaling.py``.
 
+* :func:`channel_relay_chain` — a *channel* is relayed hop to hop, and
+  every hop publishes an observation **on** it.  Because Table 1's ``κ``
+  is recursive (an event embeds the whole provenance of the channel used),
+  observation ``i``'s tree holds the carrier's entire ``2i``-event history
+  nested inside one event: summed over a run, the semantic trees grow
+  quadratically while the hash-consed DAG (all those histories are
+  suffixes of one spine) stays linear.  This is the stress shape of
+  ``benchmarks/bench_provenance_sharing.py`` — maximal divergence between
+  tree size and DAG size, hence between the v1 and v2 wire formats.
+
 The delivered values carry the full provenance story: a sink's value ends
 with ``sink?ε; relay!ε; relay?ε; source!ε`` — two hops of two events, so
 the scenario also exercises provenance growth under width (cf. the relay
-chain, which grows provenance under depth).
+chain, which grows provenance under depth, and the channel relay chain,
+which grows it under *nesting*).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.builder import ch, inp, located, out, pr, sys_par, var
+from repro.core.builder import ch, inp, located, out, par, pr, sys_par, var
 from repro.core.names import Channel, Principal
 from repro.core.patterns import Pattern
 from repro.core.system import System, system_annotated_values
 from repro.workloads.topologies import freeze
 
-__all__ = ["FanInFanOutWorkload", "fan_in_fan_out", "sinks_served"]
+__all__ = [
+    "FanInFanOutWorkload",
+    "fan_in_fan_out",
+    "sinks_served",
+    "ChannelRelayWorkload",
+    "channel_relay_chain",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,6 +120,76 @@ def fan_in_fan_out(
     )
 
 
+@dataclass(frozen=True, slots=True)
+class ChannelRelayWorkload:
+    """A channel-relay chain and the names needed to assert about it."""
+
+    system: System
+    producer: Principal
+    relays: tuple[Principal, ...]
+    consumer: Principal
+    carrier: Channel
+    hop_channels: tuple[Channel, ...]
+    observations: tuple[Channel, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.relays)
+
+
+def channel_relay_chain(n_hops: int) -> ChannelRelayWorkload:
+    """``a[t1⟨c⟩] ‖ Πᵢ pᵢ[tᵢ(x).(x⟨vᵢ⟩ | tᵢ₊₁⟨x⟩)] ‖ z[tₙ₊₁(x).freeze(x)]``.
+
+    The carrier channel ``c`` hops ``a → p₁ → … → pₙ → z``; each relay
+    publishes a fresh observation ``vᵢ`` *on the carrier* before
+    forwarding it.  At relay ``i`` the carrier's provenance is a
+    ``2i-1``-event spine, and the observation's output event embeds all
+    of it — so the system's total provenance *tree* size is Θ(n²) while
+    its shared DAG is Θ(n) (every embedded history is a suffix of the
+    carrier's single spine).  The observations are never consumed: they
+    stay as in-flight messages, inspectable via
+    :func:`repro.core.system.system_annotated_values`.
+    """
+
+    if n_hops < 0:
+        raise ValueError("n_hops must be non-negative")
+    producer = pr("a")
+    consumer = pr("z")
+    relays = tuple(pr(f"p{i + 1}") for i in range(n_hops))
+    hop_channels = tuple(ch(f"t{i + 1}") for i in range(n_hops + 1))
+    observations = tuple(ch(f"v{i + 1}") for i in range(n_hops))
+    carrier = ch("c")
+    x = var("x")
+
+    components = [located(producer, out(hop_channels[0], carrier))]
+    for index, relay in enumerate(relays):
+        components.append(
+            located(
+                relay,
+                inp(
+                    hop_channels[index],
+                    x,
+                    body=par(
+                        out(x, observations[index]),
+                        out(hop_channels[index + 1], x),
+                    ),
+                ),
+            )
+        )
+    components.append(
+        located(consumer, inp(hop_channels[-1], x, body=freeze(x)))
+    )
+    return ChannelRelayWorkload(
+        sys_par(*components),
+        producer,
+        relays,
+        consumer,
+        carrier,
+        hop_channels,
+        observations,
+    )
+
+
 def sinks_served(workload: FanInFanOutWorkload, system: System) -> int:
     """How many distinct source payloads are held at sinks in ``system``.
 
@@ -117,7 +204,7 @@ def sinks_served(workload: FanInFanOutWorkload, system: System) -> int:
     for value in system_annotated_values(system):
         if value.value not in payload_set:
             continue
-        events = value.provenance.events
-        if events and events[0].principal in sink_set:
+        provenance = value.provenance
+        if provenance and provenance.head.principal in sink_set:
             served.add(value.value)
     return len(served)

@@ -1,0 +1,266 @@
+"""Interned (hash-consed) provenance vs the legacy tree semantics.
+
+The DAG representation must be observationally identical to the seed's
+tuple-of-trees: these tests pit every observation (``str``,
+``principals``, ``total_events``, ``depth``, ``suffixes`` ordering,
+iteration) against a straight recursive *model* computed from the event
+structure, and check the interning guarantees themselves (structural
+equality is object identity, suffixes alias the shared spine, wire
+round-trips in both formats rebuild the very same interned nodes).
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import pytest
+from hypothesis import given
+
+from repro.core.builder import pr
+from repro.core.errors import WireFormatError
+from repro.core.provenance import (
+    EMPTY,
+    Event,
+    InputEvent,
+    OutputEvent,
+    Provenance,
+    intern_table_sizes,
+)
+from repro.runtime.wire import (
+    decode_message,
+    decode_payload,
+    decode_provenance,
+    decode_provenance_v2,
+    encode_message,
+    encode_provenance,
+    encode_provenance_v2,
+    encode_varint,
+)
+from tests.conftest import provenances
+
+A, B, C = pr("a"), pr("b"), pr("c")
+
+
+# -- the reference model: direct recursion over the event structure -------
+
+
+def model_str(provenance: Provenance) -> str:
+    if not provenance.events:
+        return "ε"
+    return "; ".join(_model_event_str(e) for e in provenance.events)
+
+
+def _model_event_str(event: Event) -> str:
+    inner = (
+        ""
+        if not event.channel_provenance.events
+        else model_str(event.channel_provenance)
+    )
+    return f"{event.principal}{event.symbol}{{{inner}}}"
+
+
+def model_principals(provenance: Provenance) -> frozenset:
+    result = frozenset()
+    for event in provenance.events:
+        result |= model_principals(event.channel_provenance) | {event.principal}
+    return result
+
+
+def model_total_events(provenance: Provenance) -> int:
+    return sum(
+        1 + model_total_events(e.channel_provenance) for e in provenance.events
+    )
+
+
+def model_depth(provenance: Provenance) -> int:
+    if not provenance.events:
+        return 0
+    return max(1 + model_depth(e.channel_provenance) for e in provenance.events)
+
+
+class TestLegacyAgreement:
+    @given(provenances())
+    def test_str_agrees(self, k):
+        assert str(k) == model_str(k)
+
+    @given(provenances())
+    def test_principals_agree(self, k):
+        assert k.principals() == model_principals(k)
+
+    @given(provenances())
+    def test_total_events_agree(self, k):
+        assert k.total_events() == model_total_events(k)
+
+    @given(provenances())
+    def test_depth_agrees(self, k):
+        assert k.depth() == model_depth(k)
+
+    @given(provenances())
+    def test_suffixes_order_agrees(self, k):
+        events = k.events
+        suffixes = list(k.suffixes())
+        assert len(suffixes) == len(events) + 1
+        for i, suffix in enumerate(suffixes):
+            assert suffix.events == events[i:]
+        assert suffixes[-1] is EMPTY
+
+    @given(provenances(), provenances())
+    def test_construction_paths_are_bit_identical(self, k1, k2):
+        events = k1.events + k2.events
+        assert Provenance.of(*events) is Provenance(events)
+        assert Provenance.from_iterable(iter(events)) is Provenance(events)
+        assert k1.concat(k2) is Provenance(events)
+        consed = k2
+        for event in reversed(k1.events):
+            consed = consed.cons(event)
+        assert consed is k1.concat(k2)
+
+    @given(provenances())
+    def test_iteration_matches_events(self, k):
+        assert tuple(k) == k.events
+        assert len(k) == len(k.events)
+
+
+class TestInterning:
+    def test_structural_equality_is_identity(self):
+        left = Provenance.of(OutputEvent(A, Provenance.of(InputEvent(B))))
+        right = Provenance.of(OutputEvent(A, Provenance.of(InputEvent(B))))
+        assert left is right
+        assert OutputEvent(A) is OutputEvent(A)
+        assert OutputEvent(A) is not InputEvent(A)
+
+    def test_empty_is_canonical(self):
+        assert Provenance(()) is EMPTY
+        assert Provenance.of() is EMPTY
+        assert EMPTY.tail is EMPTY
+
+    def test_suffixes_alias_the_shared_spine(self):
+        k = Provenance.of(OutputEvent(A), InputEvent(B), OutputEvent(C))
+        suffixes = list(k.suffixes())
+        assert suffixes[0] is k
+        assert suffixes[1] is k.tail
+        assert suffixes[2] is k.tail.tail
+
+    def test_memoized_queries_are_shared_across_occurrences(self):
+        nested = Provenance.of(OutputEvent(C))
+        k = Provenance.of(OutputEvent(A, nested), InputEvent(B, nested))
+        assert k.head.channel_provenance is nested
+        assert k.total_events() == 4
+        assert k.dag_size() == 3  # C's event counted once, A's, B's
+
+    def test_base_event_class_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Event(A, EMPTY)
+
+    def test_events_are_immutable(self):
+        event = OutputEvent(A)
+        with pytest.raises(AttributeError):
+            event.principal = B
+        with pytest.raises(AttributeError):
+            Provenance.of(event).events = ()
+
+    def test_cons_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            EMPTY.cons("not an event")
+
+    @given(provenances())
+    def test_pickle_round_trips_to_the_same_node(self, k):
+        assert pickle.loads(pickle.dumps(k)) is k
+
+    def test_intern_tables_release_dead_nodes(self):
+        principal = pr("transient_principal")
+        k = Provenance.of(OutputEvent(principal))
+        events_before, spines_before = intern_table_sizes()
+        assert events_before >= 1
+        del k
+        gc.collect()
+        events_after, spines_after = intern_table_sizes()
+        assert events_after < events_before
+        assert spines_after < spines_before
+
+
+class TestWireRoundTrips:
+    @given(provenances())
+    def test_v1_round_trip_rebuilds_interned_nodes(self, k):
+        decoded, _ = decode_provenance(encode_provenance(k), 0)
+        assert decoded is k
+
+    @given(provenances())
+    def test_v2_round_trip_rebuilds_interned_nodes(self, k):
+        decoded, offset = decode_provenance_v2(encode_provenance_v2(k))
+        assert decoded is k
+        assert offset == len(encode_provenance_v2(k))
+
+    def test_v2_aliased_subtrees_decode_to_identical_nodes(self):
+        shared = Provenance.of(OutputEvent(A), InputEvent(B))
+        k = Provenance.of(
+            OutputEvent(C, shared), InputEvent(C, shared)
+        ).concat(shared)
+        decoded, _ = decode_provenance_v2(encode_provenance_v2(k))
+        assert decoded is k
+        events = decoded.events
+        assert events[0].channel_provenance is events[1].channel_provenance
+
+    def test_v2_shared_subtrees_cost_fewer_bytes(self):
+        shared = Provenance.of(
+            OutputEvent(A, Provenance.of(InputEvent(B), OutputEvent(C)))
+        )
+        aliased = Provenance.of(
+            OutputEvent(A, shared), InputEvent(B, shared), OutputEvent(C, shared)
+        )
+        assert len(encode_provenance_v2(aliased)) < len(encode_provenance(aliased))
+
+    @given(provenances())
+    def test_message_envelope_round_trips_both_versions(self, k):
+        from repro.core.builder import av, ch
+
+        payload = (av(ch("m"), k), av(ch("n"), k))
+        for version in (1, 2):
+            assert decode_message(encode_message(payload, version)) == payload
+
+    def test_unknown_message_version_rejected(self):
+        with pytest.raises(WireFormatError, match="unknown wire version"):
+            decode_message(b"\x07\x00")
+        with pytest.raises(WireFormatError, match="empty message"):
+            decode_message(b"")
+
+
+class TestHostileInputs:
+    def test_huge_event_count_rejected_before_allocation(self):
+        # Claims 2^40 events with two bytes of input left.
+        hostile = encode_varint(1 << 40) + b"\x00\x00"
+        with pytest.raises(WireFormatError, match="truncated provenance"):
+            decode_provenance(hostile, 0)
+
+    def test_huge_nested_count_rejected(self):
+        # One real output event whose *nested* provenance claims 2^40
+        # events: the recursive decode must apply the same bound.
+        hostile = (
+            encode_varint(1)          # spine: one event
+            + b"\x21"                 # output event tag
+            + b"\x01a"                # principal "a"
+            + encode_varint(1 << 40)  # nested count: hostile
+        )
+        with pytest.raises(WireFormatError, match="truncated provenance"):
+            decode_provenance(hostile, 0)
+
+    def test_huge_payload_count_rejected(self):
+        hostile = encode_varint(1 << 40) + b"\x00"
+        with pytest.raises(WireFormatError, match="truncated payload"):
+            decode_payload(hostile, 0)
+
+    def test_v2_out_of_range_backref_rejected(self):
+        with pytest.raises(WireFormatError, match="back-reference"):
+            decode_provenance_v2(encode_varint(2 + 99))
+
+    def test_v2_out_of_range_event_backref_rejected(self):
+        hostile = encode_varint(1) + encode_varint(2 + 99)
+        with pytest.raises(WireFormatError, match="back-reference"):
+            decode_provenance_v2(hostile)
+
+    def test_v2_truncated_input_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_provenance_v2(b"")
+        with pytest.raises(WireFormatError):
+            decode_provenance_v2(encode_varint(1))  # cons with no event
