@@ -4,20 +4,48 @@
 Expected shape: cost grows with run length on two axes — more values with
 longer provenances (bigger denotations) and a longer global log (bigger
 search space).  The ⪯ search is the dominant term.
+
+The online A/B gate (``test_online_monitor_gate`` / ``--smoke``) checks a
+*whole run* both ways — per-step batch :func:`check_correctness` versus
+one :class:`OnlineChecker` carried across the states — asserts the
+reports identical, and gates the speedup: monotone verdict caching plus
+O(new actions) log-index extension must beat restating every state from
+scratch by at least an order of magnitude at ``hops=24``.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_correctness.py --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_correctness.py --smoke   # CI gate
 """
+
+import time
 
 import pytest
 
 from repro.logs.ast import log_size
 from repro.logs.denotation import FreshVariables, denote
 from repro.logs.order import log_leq
-from repro.monitor import MonitoredSystem, check_correctness, monitored_values
+from repro.monitor import (
+    MonitoredSystem,
+    OnlineChecker,
+    check_correctness,
+    monitored_values,
+)
 from repro.monitor.monitored import MonitoredEngine
 from repro.workloads import relay_chain
 
 from conftest import record_row
 
 HOPS = [2, 6, 12, 24]
+
+GATE_HOPS = 24
+GATE_MIN_SPEEDUP = 10.0
+SMOKE_MIN_WALL_SPEEDUP = 5.0
+"""CI wall-clock floor.  The ⪯-search ratio (deterministic, 18.3x
+measured vs the 10x gate) is what CI gates strictly; wall clock on a
+shared noisy runner keeps a looser floor that still fails on any real
+order-of-magnitude regression.  The pytest gate applies the strict 10x
+to both."""
 
 
 def final_state(hops: int):
@@ -63,3 +91,148 @@ def test_denotation_construction(benchmark, hops):
 
     log = benchmark(build)
     assert log_size(log) == len(provenance)
+
+
+# ---------------------------------------------------------------------------
+# Online vs batch whole-run A/B gate
+# ---------------------------------------------------------------------------
+
+
+def _recorded_run(hops: int):
+    """All states of a monitored run, each with its normal-form components."""
+
+    workload = relay_chain(hops)
+    engine = MonitoredEngine(max_steps=10_000)
+    recorded = []
+    engine.run(
+        MonitoredSystem.start(workload.system),
+        state_observer=lambda state, components: recorded.append(
+            (state, components)
+        ),
+    )
+    return recorded
+
+
+def _best_of(repeats: int, thunk):
+    """Best wall-clock of ``repeats`` runs, plus the last result."""
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_online_gate(hops: int = GATE_HOPS, repeats: int = 5):
+    """Check every state of a ``hops``-relay run both ways; time both.
+
+    Returns ``(speedup, batch_seconds, online_seconds, n_states,
+    batch_queries, online_queries)`` after asserting the two report
+    sequences are *identical* (same verdicts, same value order, same
+    canonical denotations) and that correctness holds throughout
+    (Theorem 1 on a correct-by-construction workload).  The query counts
+    are the noise-free work measure: the batch checker runs one ⪯
+    search per value per state, the online monitor one per *distinct*
+    value along the run.
+    """
+
+    recorded = _recorded_run(hops)
+
+    batch_seconds, batch_reports = _best_of(
+        repeats, lambda: [check_correctness(state) for state, _ in recorded]
+    )
+    batch_queries = sum(len(report) for report in batch_reports)
+
+    def online():
+        checker = OnlineChecker()
+        reports = [
+            checker.check(state, components)
+            for state, components in recorded
+        ]
+        return reports, checker.leq_queries
+
+    online_seconds, (online_reports, online_queries) = _best_of(
+        repeats, online
+    )
+
+    assert batch_reports == online_reports, "online/batch reports diverge"
+    assert all(report.holds for report in batch_reports)
+    return (
+        batch_seconds / online_seconds,
+        batch_seconds,
+        online_seconds,
+        len(recorded),
+        batch_queries,
+        online_queries,
+    )
+
+
+def test_online_monitor_gate():
+    """Whole-run online checking ≥ 10× per-step batch at hops=24 — on
+    wall clock and on the deterministic ⪯-search count."""
+
+    speedup, batch_seconds, online_seconds, n_states, batch_queries, \
+        online_queries = run_online_gate()
+    query_ratio = batch_queries / online_queries
+    record_row(
+        "E11-online",
+        f"hops={GATE_HOPS:3d}: {n_states:3d} states, "
+        f"batch={batch_seconds * 1000:7.1f}ms ({batch_queries} ⪯ searches) "
+        f"online={online_seconds * 1000:7.1f}ms ({online_queries}) → "
+        f"{speedup:.1f}x wall, {query_ratio:.1f}x searches "
+        f"(gates ≥ {GATE_MIN_SPEEDUP:.0f}x), reports identical",
+    )
+    assert query_ratio >= GATE_MIN_SPEEDUP, (
+        f"online performed {online_queries} ⪯ searches vs {batch_queries} "
+        f"batch — only {query_ratio:.1f}x (gate: {GATE_MIN_SPEEDUP}x)"
+    )
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"online whole-run checking only {speedup:.1f}x over batch "
+        f"(gate: {GATE_MIN_SPEEDUP}x)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized gate run (3 timed repeats instead of 5); the "
+        "differential and speedup assertions still apply in full",
+    )
+    parser.add_argument("--hops", type=int, default=GATE_HOPS)
+    parser.add_argument("--repeats", type=int, default=None)
+    arguments = parser.parse_args(argv)
+
+    repeats = arguments.repeats
+    if repeats is None:
+        repeats = 3 if arguments.smoke else 5
+    speedup, batch_seconds, online_seconds, n_states, batch_queries, \
+        online_queries = run_online_gate(arguments.hops, repeats)
+    query_ratio = batch_queries / online_queries
+    print(
+        f"E11 online gate: hops={arguments.hops} states={n_states} "
+        f"batch={batch_seconds * 1000:.1f}ms ({batch_queries} searches) "
+        f"online={online_seconds * 1000:.1f}ms ({online_queries} searches) "
+        f"speedup={speedup:.1f}x wall, {query_ratio:.1f}x searches"
+    )
+    if arguments.hops >= GATE_HOPS:
+        wall_floor = (
+            SMOKE_MIN_WALL_SPEEDUP if arguments.smoke else GATE_MIN_SPEEDUP
+        )
+        if query_ratio < GATE_MIN_SPEEDUP:
+            print(f"FAIL: ⪯-search ratio below the {GATE_MIN_SPEEDUP}x gate")
+            return 1
+        if speedup < wall_floor:
+            print(f"FAIL: wall-clock speedup below the {wall_floor}x floor")
+            return 1
+    print("reports identical; correctness holds at every state")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

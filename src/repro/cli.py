@@ -6,6 +6,7 @@ stdin when the path is ``-``)::
     python -m repro run system.pi --max-steps 200 --strategy progress
     python -m repro explore system.pi --max-states 5000
     python -m repro check system.pi          # monitored run + Theorem 1
+    python -m repro check system.pi --online # every state, incrementally
     python -m repro analyse system.pi        # static flow verdicts
     python -m repro fmt system.pi            # parse and pretty-print
 
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 
 from repro.analysis.static_flow import analyse_flow
 from repro.core.engine import (
@@ -29,7 +31,7 @@ from repro.core.engine import (
 from repro.core.explore import explore
 from repro.core.semantics import SemanticsMode
 from repro.lang import parse_system, pretty_system
-from repro.monitor import MonitoredSystem, check_correctness
+from repro.monitor import MonitoredSystem, OnlineChecker, check_correctness
 from repro.monitor.monitored import MonitoredEngine
 
 __all__ = ["main", "build_parser"]
@@ -42,6 +44,13 @@ def _read_system(args) -> "System":  # noqa: F821 - doc only
         with open(args.path, "r", encoding="utf-8") as handle:
             source = handle.read()
     return parse_system(source, principals=set(args.principal))
+
+
+def _print_timings(**phases: float) -> None:
+    rendered = " ".join(
+        f"{name}={seconds * 1000:.1f}ms" for name, seconds in phases.items()
+    )
+    print(f"timings: {rendered}")
 
 
 def _strategy(name: str, seed: int):
@@ -88,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(check_p)
     check_p.add_argument("--max-steps", type=int, default=1000)
+    check_p.add_argument(
+        "--online",
+        action="store_true",
+        help="check every state of the run with the incremental online "
+        "monitor (default: batch-check only the final state)",
+    )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -101,11 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    parse_start = perf_counter()
     try:
         system = _read_system(args)
     except Exception as error:  # surface parse errors cleanly
         print(f"error: {error}", file=sys.stderr)
         return 2
+    parse_seconds = perf_counter() - parse_start
 
     if args.command == "fmt":
         print(pretty_system(system))
@@ -138,9 +155,46 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "check":
         engine = MonitoredEngine(max_steps=args.max_steps)
+        if args.online:
+            checker = OnlineChecker()
+            reports = []
+            check_seconds = 0.0
+
+            def observe(state, components):
+                nonlocal check_seconds
+                start = perf_counter()
+                reports.append(checker.check(state, components))
+                check_seconds += perf_counter() - start
+
+            run_start = perf_counter()
+            trace = engine.run(
+                MonitoredSystem.start(system), state_observer=observe
+            )
+            reduce_seconds = perf_counter() - run_start - check_seconds
+            holds = all(report.holds for report in reports)
+            final = trace.final
+            print(f"steps={len(trace)} log={final.log}")
+            print(
+                f"correct provenance: {holds} "
+                f"({sum(len(r) for r in reports)} value checks over "
+                f"{len(reports)} states, online)"
+            )
+            for state_number, report in enumerate(reports):
+                if not report.holds:
+                    for failure in report.failures:
+                        print(f"  FAIL at state {state_number}: {failure}")
+                    break
+            _print_timings(
+                parse=parse_seconds, reduce=reduce_seconds, check=check_seconds
+            )
+            return 0 if holds else 1
+        run_start = perf_counter()
         trace = engine.run(MonitoredSystem.start(system))
+        reduce_seconds = perf_counter() - run_start
         final = trace.final
+        check_start = perf_counter()
         report = check_correctness(final)
+        check_seconds = perf_counter() - check_start
         print(f"steps={len(trace)} log={final.log}")
         print(
             f"correct provenance: {report.holds} "
@@ -148,6 +202,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         for failure in report.failures:
             print(f"  FAIL {failure}")
+        _print_timings(
+            parse=parse_seconds, reduce=reduce_seconds, check=check_seconds
+        )
         return 0 if report.holds else 1
 
     if args.command == "analyse":

@@ -57,6 +57,8 @@ from repro.core.values import AnnotatedValue, Identifier
 __all__ = [
     "NormalForm",
     "normalize",
+    "as_normal_form",
+    "normal_form_of",
     "flatten_component",
     "to_system",
     "canonical",
@@ -175,6 +177,57 @@ def normalize(system: System, supply: NameSupply | None = None) -> NormalForm:
     components: list[System] = []
     _flatten_system(system, supply, restricted, components, taken)
     return NormalForm(tuple(restricted), tuple(components))
+
+
+def as_normal_form(system: System) -> NormalForm | None:
+    """View an *already normalized* system as a :class:`NormalForm`.
+
+    Returns ``None`` unless ``system`` is restriction-prenex with every
+    component a thread or message and every hoisted binder exactly as
+    :func:`normalize` would keep it (pairwise distinct, disjoint from the
+    system's free channel names) — the conditions under which
+    ``normalize`` is the identity, so the view equals ``normalize``'s
+    output without rebuilding or renaming anything.  States along an
+    engine run are normal by construction (the incremental reducer keeps
+    a persistent normal form; raw fired targets re-normalize stably), so
+    monitors checking every state use this to skip re-normalization.
+    """
+
+    restricted: list[Channel] = []
+    node = system
+    while isinstance(node, SysRestriction):
+        restricted.append(node.channel)
+        node = node.body
+    parts = node.parts if isinstance(node, SysParallel) else (node,)
+    for part in parts:
+        if isinstance(part, Message):
+            continue
+        if isinstance(part, Located) and isinstance(
+            part.process, (Output, InputSum, Match, Replication)
+        ):
+            continue
+        return None
+    taken = {channel.name for channel in system_free_channels(system)}
+    for binder in restricted:
+        if binder.name in taken:
+            return None
+        taken.add(binder.name)
+    return NormalForm(tuple(restricted), tuple(parts))
+
+
+def normal_form_of(system: System) -> NormalForm:
+    """The system's normal form, free of charge when it already is one.
+
+    The one fallback chain every checker shares: the cheap
+    :func:`as_normal_form` view when ``system`` is already normalized
+    (every state along an engine run), a full :func:`normalize`
+    otherwise.
+    """
+
+    nf = as_normal_form(system)
+    if nf is None:
+        nf = normalize(system)
+    return nf
 
 
 def flatten_component(

@@ -517,6 +517,17 @@ class IncrementalReducer:
             self._restricted, [entry.component for entry in self._entries]
         )
 
+    def components(self) -> tuple[System, ...]:
+        """The components of the persistent normal form, in order.
+
+        Unchanged components are the *same objects* across steps — a
+        fired step replaces only the entries it touched — so identity-
+        keyed caches over the result (the online monitor's per-component
+        value collections) stay hot for everything a step left alone.
+        """
+
+        return tuple(entry.component for entry in self._entries)
+
     def fire(self, pending: PendingStep) -> ReductionStep:
         """Apply a pending redex; returns the full fired step.
 

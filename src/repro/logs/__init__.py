@@ -10,12 +10,18 @@ from repro.logs.ast import (
     LogPar,
     LogTerm,
     Unknown,
+    format_log,
     log_actions,
     log_free_variables,
     log_par,
     log_size,
 )
-from repro.logs.denotation import FreshVariables, denote
-from repro.logs.order import freshen_log, information_equivalent, log_leq
+from repro.logs.denotation import FreshVariables, canonical_denotation, denote
+from repro.logs.order import (
+    LogIndex,
+    freshen_log,
+    information_equivalent,
+    log_leq,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

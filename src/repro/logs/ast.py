@@ -45,6 +45,8 @@ __all__ = [
     "log_actions",
     "log_size",
     "log_free_variables",
+    "chain_prefix",
+    "format_log",
 ]
 
 
@@ -130,9 +132,7 @@ class LogAction(Log):
     child: Log
 
     def __str__(self) -> str:
-        if isinstance(self.child, LogEmpty):
-            return str(self.action)
-        return f"{self.action}; {self.child}"
+        return format_log(self)
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,9 +142,7 @@ class LogPar(Log):
     children: tuple[Log, ...] = field(default=())
 
     def __str__(self) -> str:
-        if not self.children:
-            return "0"
-        return "(" + " | ".join(str(c) for c in self.children) + ")"
+        return format_log(self)
 
 
 EMPTY_LOG = LogEmpty()
@@ -169,18 +167,24 @@ def log_par(*logs: Log) -> Log:
 
 
 def log_actions(log: Log) -> Iterator[Action]:
-    """Every action in the log, root-to-leaf, left-to-right."""
+    """Every action in the log, root-to-leaf, left-to-right.
 
-    if isinstance(log, LogEmpty):
-        return
-    elif isinstance(log, LogAction):
-        yield log.action
-        yield from log_actions(log.child)
-    elif isinstance(log, LogPar):
-        for child in log.children:
-            yield from log_actions(child)
-    else:
-        raise TypeError(f"not a log: {log!r}")
+    Iterative: the global log of a monitored run is a cons chain one
+    action deep per step, far deeper than Python's recursion limit.
+    """
+
+    stack = [log]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LogEmpty):
+            continue
+        if isinstance(node, LogAction):
+            yield node.action
+            stack.append(node.child)
+        elif isinstance(node, LogPar):
+            stack.extend(reversed(node.children))
+        else:
+            raise TypeError(f"not a log: {node!r}")
 
 
 def log_size(log: Log) -> int:
@@ -190,19 +194,92 @@ def log_size(log: Log) -> int:
 
 
 def log_free_variables(log: Log) -> frozenset[Variable]:
-    """Free variables of a log (``snd``/``rcv`` channel positions bind)."""
+    """Free variables of a log (``snd``/``rcv`` channel positions bind).
 
-    if isinstance(log, LogEmpty):
-        return frozenset()
-    if isinstance(log, LogAction):
-        below = log_free_variables(log.child)
-        binder = log.action.binding_variable
-        if binder is not None:
-            below -= {binder}
-        return below | log.action.free_variables()
-    if isinstance(log, LogPar):
-        result: frozenset[Variable] = frozenset()
-        for child in log.children:
-            result |= log_free_variables(child)
-        return result
-    raise TypeError(f"not a log: {log!r}")
+    Iterative scope-tracking walk (binders bind strictly *below* their
+    action, so a multiset of path binders decides freeness in one pass).
+    """
+
+    free: set[Variable] = set()
+    bound: dict[Variable, int] = {}
+    stack: list[tuple[int, object]] = [(0, log)]
+    while stack:
+        leaving, node = stack.pop()
+        if leaving:
+            binder = node  # the Variable whose scope ends here
+            remaining = bound[binder] - 1
+            if remaining:
+                bound[binder] = remaining
+            else:
+                del bound[binder]
+            continue
+        if isinstance(node, LogEmpty):
+            continue
+        if isinstance(node, LogAction):
+            for variable in node.action.free_variables():
+                if variable not in bound:
+                    free.add(variable)
+            binder = node.action.binding_variable
+            if binder is not None:
+                bound[binder] = bound.get(binder, 0) + 1
+                stack.append((1, binder))
+            stack.append((0, node.child))
+        elif isinstance(node, LogPar):
+            stack.extend((0, child) for child in reversed(node.children))
+        else:
+            raise TypeError(f"not a log: {node!r}")
+    return frozenset(free)
+
+
+def chain_prefix(new: Log, old: Log) -> "list[LogAction] | None":
+    """The actions ``new`` prepends onto ``old``, outermost first.
+
+    Detects the one way a global log ever grows — ``→m`` conses actions
+    onto the *same* log object, so the shared suffix is found by
+    identity.  Returns ``None`` when ``new`` is not such an extension
+    (different lineage, or growth through anything but ``LogAction``);
+    ``[]`` when ``new`` *is* ``old``.  Both the log index's O(new
+    actions) extension and the online monitor's lineage check build on
+    this.
+    """
+
+    spine: list[LogAction] = []
+    node = new
+    while node is not old:
+        if not isinstance(node, LogAction):
+            return None
+        spine.append(node)
+        node = node.child
+    return spine
+
+
+def format_log(log: Log) -> str:
+    """Render a log without recursing down its action chain."""
+
+    parts: list[str] = []
+    stack: list[object] = [log]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, str):
+            parts.append(node)
+        elif isinstance(node, LogEmpty):
+            parts.append("0")
+        elif isinstance(node, LogAction):
+            parts.append(str(node.action))
+            if not isinstance(node.child, LogEmpty):
+                stack.append(node.child)
+                stack.append("; ")
+        elif isinstance(node, LogPar):
+            if not node.children:
+                parts.append("0")
+                continue
+            parts.append("(")
+            stack.append(")")
+            last = len(node.children) - 1
+            for position, child in enumerate(reversed(node.children)):
+                stack.append(child)
+                if position != last:
+                    stack.append(" | ")
+        else:
+            raise TypeError(f"not a log: {node!r}")
+    return "".join(parts)

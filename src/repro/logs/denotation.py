@@ -35,7 +35,7 @@ from repro.logs.ast import (
     log_par,
 )
 
-__all__ = ["denote", "FreshVariables"]
+__all__ = ["denote", "canonical_denotation", "FreshVariables"]
 
 
 class FreshVariables:
@@ -95,9 +95,28 @@ def _denote(value: LogTerm, provenance: Provenance, fresh: FreshVariables) -> Lo
     log: Log = EMPTY_LOG
     for kind, event, channel_variable in reversed(spine):
         action = Action(kind, event.principal, (channel_variable, value))
-        nested = _denote(channel_variable, event.channel_provenance, fresh)
-        log = LogAction(action, log_par(log, nested))
+        if event.channel_provenance:
+            nested = _denote(channel_variable, event.channel_provenance, fresh)
+            log = LogAction(action, log_par(log, nested))
+        else:
+            # ⟦x : ε⟧ = ∅ — the empty branch composes away (the common
+            # case: plain data channels), keeping denotations chains.
+            log = LogAction(action, log)
     return log
+
+
+def canonical_denotation(value: LogTerm, provenance: Provenance) -> Log:
+    """``⟦value : provenance⟧`` from a private fresh supply.
+
+    A deterministic function of the pair alone: two calls on the same
+    (interned) provenance build structurally identical logs, so the
+    denotation can be cached per pair and compared across checkers.  The
+    result is shadow-free with all binders in the ``_x…`` namespace,
+    which :meth:`repro.logs.order.LogIndex.leq` accepts un-refreshened
+    (``assume_fresh=True``) — the index's own binders live under ``_r…``.
+    """
+
+    return denote(value, provenance, FreshVariables())
 
 
 def denote_all(

@@ -16,14 +16,31 @@ relation is the least one closed under:
 Decision procedure
 ------------------
 
-A backtracking tree-embedding search.  Both logs are alpha-freshened into
-disjoint variable namespaces; variables are then treated *existentially*
-(a variable stands for some unknown value — binding it during the search
-chooses that value), and ``?`` (unknown private channel) unifies with
-anything without binding.  An action-prefixed left log scans the right
-tree through LEQ-Pre2 skips and LEQ-Comp2 branch choices; left
-compositions decompose by LEQ-Comp1 with the substitution environment
-threaded through the children (they may share variables bound higher up).
+An *indexed* backtracking tree-embedding search built around
+:class:`LogIndex`.  The right log is alpha-freshened once and every action
+position is indexed by its ``(kind, principal, arity)`` signature together
+with interval (pre/post-order) labels, so a left action finds its match
+candidates by one bucket bisect instead of scanning the right tree node by
+node.  Variables are treated *existentially* (a variable stands for some
+unknown value — binding it during the search chooses that value), and
+``?`` (unknown private channel) unifies with anything without binding.
+A right-side binder may be instantiated by the closing substitution σ'
+only strictly *below* its binding action; because every candidate match
+descends from the previous match, that set is exactly the binders of the
+candidate's proper ancestors — an O(1) interval-containment test, which is
+what lets the skip/branch moves (LEQ-Pre2/LEQ-Comp2) collapse into direct
+candidate jumps without losing derivations.
+
+Everything is **iterative** — freshening, indexing, and the search itself
+run on explicit stacks.  The global log of a monitored run is a cons chain
+one action deep per reduction; the historical recursive procedure hit
+Python's recursion limit a few hundred actions in.
+
+The index is **reusable and extensible**: :meth:`LogIndex.try_extend`
+re-points an index at a log that grew by prepended actions (the only way
+a global log ever grows) in O(new actions), sharing the already-indexed
+suffix by object identity.  The online monitor
+(:mod:`repro.monitor.online`) keeps one index alive across a whole run.
 
 The relation is a partial order on the quotient of logs by mutual ``⪯``
 (Proposition 1): reflexivity and transitivity are checked by property
@@ -34,8 +51,9 @@ duplicates informationless — so antisymmetry cannot hold syntactically).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from itertools import count
-from typing import Iterator, Mapping
+from typing import Iterator, Optional
 
 from repro.core.names import Variable
 from repro.logs.ast import (
@@ -46,9 +64,11 @@ from repro.logs.ast import (
     LogPar,
     LogTerm,
     Unknown,
+    chain_prefix,
+    log_actions,
 )
 
-__all__ = ["log_leq", "information_equivalent", "freshen_log"]
+__all__ = ["LogIndex", "log_leq", "information_equivalent", "freshen_log"]
 
 Env = dict[Variable, LogTerm]
 
@@ -56,11 +76,7 @@ Env = dict[Variable, LogTerm]
 def log_leq(left: Log, right: Log) -> bool:
     """Decide ``left ⪯ right`` (closed logs)."""
 
-    left = freshen_log(left, "_l")
-    right = freshen_log(right, "_r")
-    for _ in _search(left, right, {}, frozenset()):
-        return True
-    return False
+    return LogIndex(right).leq(left)
 
 
 def information_equivalent(left: Log, right: Log) -> bool:
@@ -74,51 +90,450 @@ def information_equivalent(left: Log, right: Log) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _freshen_action(
+    action: Action,
+    env: dict[Variable, Variable],
+    prefix: str,
+    counter,
+) -> tuple[Action, dict[Variable, Variable], Variable | None]:
+    """Rename one action under ``env``.
+
+    Returns the renamed action, the environment for the log below it, and
+    the renamed binder (saving callers the ``binding_variable`` re-walk).
+    """
+
+    binder = action.binding_variable
+    operands = list(action.operands)
+    child_env = env
+    fresh = None
+    if binder is not None:
+        fresh = Variable(f"{prefix}{next(counter)}")
+        child_env = dict(env)
+        child_env[binder] = fresh
+        operands[0] = fresh
+        operands[1:] = [
+            env.get(term, term) if isinstance(term, Variable) else term
+            for term in operands[1:]
+        ]
+    else:
+        operands = [
+            env.get(term, term) if isinstance(term, Variable) else term
+            for term in operands
+        ]
+    renamed = Action(action.kind, action.principal, tuple(operands))
+    return renamed, child_env, fresh
+
+
 def freshen_log(log: Log, prefix: str) -> Log:
     """Rename every bound variable to a fresh ``{prefix}{i}`` name.
 
     Guarantees (a) no binder shadows another and (b) two logs freshened
     with different prefixes share no variables — the invariants the search
     relies on.  Free variables (absent from closed logs) are left alone.
+    Iterative: rebuilds the tree bottom-up on an explicit stack, so
+    arbitrarily deep action chains freshen without recursion.
     """
 
     counter = count()
-
-    def rename_term(term: LogTerm, env: Mapping[Variable, Variable]) -> LogTerm:
-        if isinstance(term, Variable):
-            return env.get(term, term)
-        return term
-
-    def walk(node: Log, env: dict[Variable, Variable]) -> Log:
-        if isinstance(node, LogEmpty):
-            return node
-        if isinstance(node, LogPar):
-            return LogPar(tuple(walk(child, env) for child in node.children))
-        if isinstance(node, LogAction):
-            action = node.action
-            binder = action.binding_variable
-            child_env = env
-            operands = list(action.operands)
-            if binder is not None:
-                fresh = Variable(f"{prefix}{next(counter)}")
-                child_env = dict(env)
-                child_env[binder] = fresh
-                operands[0] = fresh
-                operands[1:] = [
-                    rename_term(term, env) for term in operands[1:]
-                ]
+    ENTER, EXIT_ACTION, EXIT_PAR = 0, 1, 2
+    work: list[tuple[int, object, object]] = [(ENTER, log, {})]
+    results: list[Log] = []
+    while work:
+        phase, node, env = work.pop()
+        if phase == ENTER:
+            if isinstance(node, LogEmpty):
+                results.append(node)
+            elif isinstance(node, LogPar):
+                work.append((EXIT_PAR, len(node.children), None))
+                for child in reversed(node.children):
+                    work.append((ENTER, child, env))
+            elif isinstance(node, LogAction):
+                renamed, child_env, _ = _freshen_action(
+                    node.action, env, prefix, counter
+                )
+                work.append((EXIT_ACTION, renamed, None))
+                work.append((ENTER, node.child, child_env))
             else:
-                operands = [rename_term(term, env) for term in operands]
-            renamed = Action(action.kind, action.principal, tuple(operands))
-            return LogAction(renamed, walk(node.child, child_env))
-        raise TypeError(f"not a log: {node!r}")
-
-    return walk(log, {})
+                raise TypeError(f"not a log: {node!r}")
+        elif phase == EXIT_ACTION:
+            child = results.pop()
+            results.append(LogAction(node, child))
+        else:  # EXIT_PAR; node is the child count
+            width = node
+            children = tuple(results[len(results) - width :])
+            del results[len(results) - width :]
+            results.append(LogPar(children))
+    return results[0]
 
 
 # ---------------------------------------------------------------------------
-# Backtracking search
+# The right-log index
 # ---------------------------------------------------------------------------
+
+
+class _Pos:
+    """One position of the freshened right log.
+
+    ``in_``/``out_`` are interval labels (assigned at tree enter/exit):
+    position ``q`` lies in the subtree of ``p`` iff
+    ``p.in_ <= q.in_`` and ``q.out_ <= p.out_`` — and because intervals
+    nest properly, membership of ``q.in_`` in ``[p.in_, p.out_]`` alone
+    decides it, which is what the bucket bisect exploits.  Action
+    positions carry their freshened action, their child position (the
+    scan root for the LEQ-Pre1 remainder) and their binder.
+    """
+
+    __slots__ = ("in_", "out_", "action", "child", "binder")
+
+    def __init__(
+        self,
+        in_: int,
+        out_: int | None = None,
+        action: Action | None = None,
+        child: "Optional[_Pos]" = None,
+        binder: Variable | None = None,
+    ) -> None:
+        self.in_ = in_
+        self.out_ = out_
+        self.action = action
+        self.child = child
+        self.binder = binder
+
+
+_Sig = tuple
+
+
+class LogIndex:
+    """A reusable decision index for ``· ⪯ φ`` queries against one ``φ``.
+
+    Construction freshens and indexes ``φ`` once — O(φ).  Each
+    :meth:`leq` query then walks only signature-matching candidate
+    positions.  :meth:`try_extend` grows the index in place when the log
+    grows by prepended actions (suffix shared by identity), the shape of
+    every global-log update; anything else reports ``False`` and the
+    caller builds a fresh index.
+    """
+
+    __slots__ = (
+        "_source",
+        "_counter",
+        "_root",
+        "_buckets",
+        "_binders",
+        "_variables",
+        "_front",
+        "_back",
+        "_action_count",
+    )
+
+    def __init__(self, log: Log) -> None:
+        self._source = log
+        self._counter = count()
+        # sig → (build-side ins, build-side positions, prefix-side keys
+        # (-in_), prefix-side positions); both sides sorted, append-only.
+        self._buckets: dict[
+            _Sig, tuple[list[int], list[_Pos], list[int], list[_Pos]]
+        ] = {}
+        self._binders: dict[Variable, _Pos] = {}
+        # Every variable occurring in the indexed log — needed only to
+        # validate extensions (a new binder whose variable appears
+        # anywhere in the frozen suffix could capture or shadow, so such
+        # extensions rebuild instead), hence computed lazily: one-shot
+        # queries never pay for it.
+        self._variables: set[Variable] | None = None
+        self._action_count = 0
+        clock = count()
+        self._root = self._index_subtree(log, clock)
+        self._front = self._root.in_
+        self._back = self._root.out_
+
+    @property
+    def source(self) -> Log:
+        """The (unfreshened) log this index currently decides against."""
+
+        return self._source
+
+    @property
+    def action_count(self) -> int:
+        """Number of indexed action positions (grows under extension)."""
+
+        return self._action_count
+
+    # -- construction -------------------------------------------------------
+
+    def _suffix_variables(self) -> set[Variable]:
+        if self._variables is None:
+            self._variables = {
+                term
+                for action in log_actions(self._source)
+                for term in action.operands
+                if isinstance(term, Variable)
+            }
+        return self._variables
+
+    def _register(self, pos: _Pos, prefix: bool = False) -> None:
+        """File an action position in its signature bucket.
+
+        A bucket is two sorted parallel-list pairs: the build-time side
+        (ascending ``in_`` — DFS preorder appends in order) and the
+        prefix side holding extension positions keyed by ``-in_``
+        (extensions assign strictly decreasing ``in_``, innermost first,
+        so these are appends too).  Both sides grow O(1) amortized —
+        the documented O(new actions) extension depends on it.
+        """
+
+        action = pos.action
+        sig = (action.kind, action.principal, len(action.operands))
+        bucket = self._buckets.get(sig)
+        if bucket is None:
+            bucket = ([], [], [], [])
+            self._buckets[sig] = bucket
+        if prefix:
+            bucket[2].append(-pos.in_)
+            bucket[3].append(pos)
+        else:
+            bucket[0].append(pos.in_)
+            bucket[1].append(pos)
+        if pos.binder is not None:
+            self._binders[pos.binder] = pos
+        self._action_count += 1
+
+    def _index_subtree(self, log: Log, clock) -> _Pos:
+        """Freshen and label ``log``; returns its root position."""
+
+        ENTER, EXIT_ACTION, EXIT_PAR = 0, 1, 2
+        work: list[tuple[int, object, object]] = [(ENTER, log, {})]
+        results: list[_Pos] = []
+        while work:
+            phase, node, env = work.pop()
+            if phase == ENTER:
+                if isinstance(node, LogEmpty):
+                    results.append(_Pos(next(clock), next(clock)))
+                elif isinstance(node, LogPar):
+                    pos = _Pos(next(clock))
+                    work.append((EXIT_PAR, (pos, len(node.children)), None))
+                    for child in reversed(node.children):
+                        work.append((ENTER, child, env))
+                elif isinstance(node, LogAction):
+                    renamed, child_env, binder = _freshen_action(
+                        node.action, env, "_r", self._counter
+                    )
+                    pos = _Pos(next(clock), action=renamed, binder=binder)
+                    # Register at enter time: preorder keeps every bucket
+                    # sorted by ``in_`` with plain appends.
+                    self._register(pos)
+                    work.append((EXIT_ACTION, pos, None))
+                    work.append((ENTER, node.child, child_env))
+                else:
+                    raise TypeError(f"not a log: {node!r}")
+            elif phase == EXIT_ACTION:
+                node.child = results.pop()
+                node.out_ = next(clock)
+                results.append(node)
+            else:  # EXIT_PAR
+                pos, width = node
+                del results[len(results) - width :]
+                pos.out_ = next(clock)
+                results.append(pos)
+        return results[0]
+
+    def try_extend(self, log: Log) -> bool:
+        """Re-point the index at ``log`` if it merely prepends actions.
+
+        Walks the new spine down to the currently indexed log (matched by
+        object *identity* — the suffix sharing the monitored semantics
+        guarantees, since every ``→m`` step conses onto the previous
+        log), then indexes just the new prefix: O(new actions).  Returns
+        ``False`` — leaving the index untouched — when ``log`` is not
+        such an extension, or when a new binder's variable occurs
+        anywhere in the suffix (capture or shadowing would change how
+        the suffix freshens; impossible for ground global logs).
+        """
+
+        spine = chain_prefix(log, self._source)
+        if spine is None:
+            return False
+        if not spine:
+            return True
+
+        suffix_variables = self._suffix_variables()
+        renamed: list[tuple[Action, Variable | None]] = []
+        new_variables: set[Variable] = set()
+        env: dict[Variable, Variable] = {}
+        for wrapper in spine:
+            action = wrapper.action
+            binder = action.binding_variable
+            if binder is not None and binder in suffix_variables:
+                # The binder's variable occurs somewhere in the frozen
+                # suffix — binding it could capture a free occurrence or
+                # shadow a suffix binder, either of which changes how
+                # the suffix would have been freshened.  Conservative:
+                # the caller rebuilds.
+                return False
+            for term in action.operands:
+                if isinstance(term, Variable):
+                    new_variables.add(term)
+            fresh, env, fresh_binder = _freshen_action(
+                action, env, "_r", self._counter
+            )
+            renamed.append((fresh, fresh_binder))
+
+        depth = len(spine)
+        child = self._root
+        for offset in range(depth - 1, -1, -1):
+            distance = depth - offset
+            action, binder = renamed[offset]
+            pos = _Pos(
+                self._front - distance,
+                self._back + distance,
+                action=action,
+                child=child,
+                binder=binder,
+            )
+            self._register(pos, prefix=True)
+            child = pos
+        self._root = child
+        self._front -= depth
+        self._back += depth
+        suffix_variables |= new_variables
+        self._source = log
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def _candidates(self, action: Action, root: _Pos) -> Iterator[_Pos]:
+        """Signature-matching action positions inside ``root``'s subtree,
+        in document (most-recent-first) order.
+
+        Prefix-side positions (negative ``in_``, stored by ``-in_``) are
+        ancestors of every build-side one, so the in-range prefix slice
+        — walked newest-first — precedes the build-side slice.
+        """
+
+        bucket = self._buckets.get(
+            (action.kind, action.principal, len(action.operands))
+        )
+        if bucket is None:
+            return
+        ins, positions, prefix_keys, prefix_positions = bucket
+        if prefix_keys:
+            low = bisect_left(prefix_keys, -root.out_)
+            high = bisect_right(prefix_keys, -root.in_, low)
+            for at in range(high - 1, low - 1, -1):
+                yield prefix_positions[at]
+        low = bisect_left(ins, root.in_)
+        high = bisect_right(ins, root.out_, low)
+        for at in range(low, high):
+            yield positions[at]
+
+    def _is_closable(self, variable: Variable, at: _Pos) -> bool:
+        """May σ' instantiate ``variable`` when matching at ``at``?
+
+        Exactly when its binding action is a proper ancestor of the match
+        position: the binder was passed (matched or skipped) on the way
+        down, never at its own binding occurrence.
+        """
+
+        binding = self._binders.get(variable)
+        return (
+            binding is not None
+            and binding.in_ < at.in_
+            and binding.out_ > at.out_
+        )
+
+    def leq(self, left: Log, *, assume_fresh: bool = False) -> bool:
+        """Decide ``left ⪯ φ`` for the indexed ``φ``.
+
+        ``assume_fresh=True`` skips the alpha-freshening of ``left`` —
+        sound only when ``left`` already has pairwise-distinct binders
+        disjoint from the index's ``_r…`` namespace (denotations built by
+        :func:`repro.logs.denotation.canonical_denotation` qualify; the
+        online checker relies on this to reuse cached denotations).
+        """
+
+        if not assume_fresh:
+            left = freshen_log(left, "_l")
+        goals = _expand(left, self._root, None)
+        if goals is None:
+            return True
+        stack: list[Iterator] = [_matches(self, goals, {})]
+        while stack:
+            step = next(stack[-1], None)
+            if step is None:
+                stack.pop()
+                continue
+            goals, env = step
+            if goals is None:
+                return True
+            stack.append(_matches(self, goals, env))
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The backtracking search
+# ---------------------------------------------------------------------------
+#
+# A goal ``(left_action_node, right_position, rest)`` is the obligation to
+# embed the left chain headed at that action somewhere in the subtree of
+# the right position; ``rest`` links the remaining obligations (LEQ-Comp1
+# children share the substitution environment, so they form one sequential
+# list).  LEQ-Nil discharges empty left logs during expansion; LEQ-Pre2
+# skips and LEQ-Comp2 branch choices are implicit in candidate selection.
+
+_Goals = Optional[tuple]
+
+
+def _expand(left: Log, pos: _Pos, rest: _Goals) -> _Goals:
+    """Flatten Empty/Par left structure into a goal list (LEQ-Nil/Comp1)."""
+
+    pending: list[tuple[Log, _Pos]] = [(left, pos)]
+    heads: list[tuple[LogAction, _Pos]] = []
+    while pending:
+        node, at = pending.pop()
+        if isinstance(node, LogEmpty):
+            continue
+        if isinstance(node, LogAction):
+            heads.append((node, at))
+        elif isinstance(node, LogPar):
+            for child in reversed(node.children):
+                pending.append((child, at))
+        else:
+            raise TypeError(f"not a log: {node!r}")
+    goals = rest
+    for node, at in reversed(heads):
+        goals = (node, at, goals)
+    return goals
+
+
+def _matches(index: LogIndex, goals: tuple, env: Env) -> Iterator[tuple]:
+    """Alternatives for the head goal — one per unifiable candidate
+    (LEQ-Pre1 at each signature-matching position under the scan root)."""
+
+    left, root, rest = goals
+    action = left.action
+    child = left.child
+    # Chain-shaped remainders (the overwhelming case: global logs and
+    # empty-nesting denotations) skip the generic goal expansion.
+    if isinstance(child, LogAction):
+        for candidate in index._candidates(action, root):
+            extended = _unify_actions(
+                action, candidate.action, env, index, candidate
+            )
+            if extended is not None:
+                yield (child, candidate.child, rest), extended
+        return
+    if isinstance(child, LogEmpty):
+        for candidate in index._candidates(action, root):
+            extended = _unify_actions(
+                action, candidate.action, env, index, candidate
+            )
+            if extended is not None:
+                yield rest, extended
+        return
+    for candidate in index._candidates(action, root):
+        extended = _unify_actions(action, candidate.action, env, index, candidate)
+        if extended is not None:
+            yield _expand(child, candidate.child, rest), extended
 
 
 def _resolve(term: LogTerm, env: Env) -> LogTerm:
@@ -127,18 +542,15 @@ def _resolve(term: LogTerm, env: Env) -> LogTerm:
     return term
 
 
-# ``closable`` is the set of *right-side* variables whose binder has been
-# passed on the descent: the closing substitution σ' may instantiate them.
-# A right variable at its own binding occurrence is NOT closable — the
-# head-matching condition α' = ασ is syntactic on the right, so a ground
-# left operand can never match a right binder (ψ would be claiming less
-# information than φ there).
-Closable = frozenset
-
-
 def _unify_terms(
-    left: LogTerm, right: LogTerm, env: Env, closable: Closable
+    left: LogTerm, right: LogTerm, env: Env, index: LogIndex, at: _Pos
 ) -> Env | None:
+    if left == right:
+        # Ground-on-ground equality is the overwhelmingly common case
+        # (every operand of a monitored global log is concrete); it also
+        # covers identical variables and ``? ⋖ ?``, all of which resolve
+        # to "no constraint added" below anyway.
+        return env
     left = _resolve(left, env)
     right = _resolve(right, env)
     if isinstance(left, Unknown) or isinstance(right, Unknown):
@@ -153,7 +565,12 @@ def _unify_terms(
         extended[left] = right
         return extended
     if isinstance(right, Variable):
-        if right not in closable:
+        # σ' closes a right binder only strictly below its binding action
+        # — the head-matching condition α' = ασ is syntactic on the
+        # right, so a ground left operand can never match a right binder
+        # at its own occurrence (ψ would be claiming less information
+        # than φ there).
+        if not index._is_closable(right, at):
             return None
         extended = dict(env)
         extended[right] = left
@@ -164,7 +581,7 @@ def _unify_terms(
 
 
 def _unify_actions(
-    left: Action, right: Action, env: Env, closable: Closable
+    left: Action, right: Action, env: Env, index: LogIndex, at: _Pos
 ) -> Env | None:
     if left.kind is not right.kind:
         return None
@@ -173,65 +590,8 @@ def _unify_actions(
     if len(left.operands) != len(right.operands):
         return None
     for left_term, right_term in zip(left.operands, right.operands):
-        result = _unify_terms(left_term, right_term, env, closable)
+        result = _unify_terms(left_term, right_term, env, index, at)
         if result is None:
             return None
         env = result
     return env
-
-
-def _search(
-    left: Log, right: Log, env: Env, closable: Closable
-) -> Iterator[Env]:
-    """Yield every environment under which ``left ⪯ right`` derives."""
-
-    if isinstance(left, LogEmpty):
-        # LEQ-Nil
-        yield env
-        return
-    if isinstance(left, LogPar):
-        # LEQ-Comp1, n-ary: thread the environment through all children.
-        yield from _search_all(left.children, right, env, closable)
-        return
-    if isinstance(left, LogAction):
-        yield from _scan_right(left, right, env, closable)
-        return
-    raise TypeError(f"not a log: {left!r}")
-
-
-def _search_all(
-    children: tuple[Log, ...], right: Log, env: Env, closable: Closable
-) -> Iterator[Env]:
-    if not children:
-        yield env
-        return
-    head, rest = children[0], children[1:]
-    for next_env in _search(head, right, env, closable):
-        yield from _search_all(rest, right, next_env, closable)
-
-
-def _scan_right(
-    left: LogAction, right: Log, env: Env, closable: Closable
-) -> Iterator[Env]:
-    """Find the head action of ``left`` somewhere down the right tree."""
-
-    if isinstance(right, LogEmpty):
-        return
-    if isinstance(right, LogPar):
-        # LEQ-Comp2: commit to one branch for this left log.
-        for child in right.children:
-            yield from _scan_right(left, child, env, closable)
-        return
-    if isinstance(right, LogAction):
-        binder = right.action.binding_variable
-        freed = closable if binder is None else closable | {binder}
-        # LEQ-Pre1: match here (the right binder is closable only *below*
-        # this action, i.e. for the remainders)…
-        matched = _unify_actions(left.action, right.action, env, closable)
-        if matched is not None:
-            yield from _search(left.child, right.child, matched, freed)
-        # … or LEQ-Pre2: skip the right action and look deeper (its binder
-        # is freed for the subtree, closed by σ').
-        yield from _scan_right(left, right.child, env, freed)
-        return
-    raise TypeError(f"not a log: {right!r}")

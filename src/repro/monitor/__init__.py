@@ -5,6 +5,7 @@ from repro.monitor.checker import (
     ValueCheck,
     check_completeness,
     check_correctness,
+    component_values,
     has_complete_provenance,
     has_correct_provenance,
     monitored_values,
@@ -19,5 +20,6 @@ from repro.monitor.monitored import (
     erase,
     monitored_steps,
 )
+from repro.monitor.online import OnlineChecker, OnlineRunReport, run_checked
 
 __all__ = [name for name in dir() if not name.startswith("_")]

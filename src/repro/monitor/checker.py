@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.core.congruence import normalize
+from repro.core.congruence import NormalForm, normal_form_of
 from repro.core.names import Channel
 from repro.core.process import (
     Inaction,
@@ -37,12 +37,13 @@ from repro.core.provenance import Provenance
 from repro.core.system import Located, Message, System
 from repro.core.values import AnnotatedValue, Identifier
 from repro.logs.ast import Log, LogTerm, Unknown
-from repro.logs.denotation import FreshVariables, denote
+from repro.logs.denotation import canonical_denotation
 from repro.logs.order import log_leq
 from repro.monitor.monitored import MonitoredSystem
 
 __all__ = [
     "monitored_values",
+    "component_values",
     "ValueCheck",
     "CheckReport",
     "check_correctness",
@@ -54,6 +55,7 @@ __all__ = [
 
 def monitored_values(
     monitored: MonitoredSystem,
+    nf: NormalForm | None = None,
 ) -> list[tuple[LogTerm, Provenance]]:
     """The paper's ``values(M)``: annotated values as log-term pairs.
 
@@ -62,16 +64,38 @@ def monitored_values(
     prefixes (values in continuations count) and includes channel-subject
     occurrences ``m : κm`` — the completeness counterexample depends on
     them.
+
+    Pass an already-computed ``nf`` to skip normalization outright; with
+    ``nf=None`` a system that is *already* in normal form — every state
+    along an engine run is — is detected and used as-is, so only
+    hand-built irregular systems pay for a re-normalization.
     """
 
-    nf = normalize(monitored.system)
+    if nf is None:
+        nf = normal_form_of(monitored.system)
     collected: list[tuple[LogTerm, Provenance]] = []
     for component in nf.components:
-        if isinstance(component, Message):
-            for value in component.payload:
-                collected.append(_term_of(value, frozenset()))
-        elif isinstance(component, Located):
-            _collect_process(component.process, frozenset(), collected)
+        collected.extend(component_values(component))
+    return collected
+
+
+def component_values(component: System) -> list[tuple[LogTerm, Provenance]]:
+    """The annotated values contributed by one normal-form component.
+
+    ``values(M)`` is the concatenation of these per component — the unit
+    of reuse for the online monitor, which caches the collection per
+    surviving component across steps (components are immutable; only the
+    few a step replaces are re-collected).
+    """
+
+    collected: list[tuple[LogTerm, Provenance]] = []
+    if isinstance(component, Message):
+        for value in component.payload:
+            collected.append(_term_of(value, frozenset()))
+    elif isinstance(component, Located):
+        _collect_process(component.process, frozenset(), collected)
+    else:
+        raise TypeError(f"not a normal-form component: {component!r}")
     return collected
 
 
@@ -161,10 +185,9 @@ class CheckReport:
 def check_correctness(monitored: MonitoredSystem) -> CheckReport:
     """Definition 3: ``⟦V : κ⟧ ⪯ log(M)`` for every value of ``M``."""
 
-    fresh = FreshVariables()
     checks = []
     for value, provenance in monitored_values(monitored):
-        denotation = denote(value, provenance, fresh)
+        denotation = canonical_denotation(value, provenance)
         holds = log_leq(denotation, monitored.log)
         checks.append(ValueCheck(value, provenance, denotation, holds))
     return CheckReport(tuple(checks))
@@ -173,10 +196,9 @@ def check_correctness(monitored: MonitoredSystem) -> CheckReport:
 def check_completeness(monitored: MonitoredSystem) -> CheckReport:
     """Definition 4: ``log(M) ⪯ ⟦V : κ⟧`` for every value of ``M``."""
 
-    fresh = FreshVariables()
     checks = []
     for value, provenance in monitored_values(monitored):
-        denotation = denote(value, provenance, fresh)
+        denotation = canonical_denotation(value, provenance)
         holds = log_leq(monitored.log, denotation)
         checks.append(ValueCheck(value, provenance, denotation, holds))
     return CheckReport(tuple(checks))

@@ -44,13 +44,28 @@ class TestExplore:
 class TestCheck:
     def test_correct_system_exits_zero(self, system_file, capsys):
         assert main(["check", system_file]) == 0
-        assert "correct provenance: True" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "correct provenance: True" in out
+        assert "timings:" in out
 
     def test_forged_system_exits_nonzero(self, tmp_path, capsys):
         path = tmp_path / "forged.pi"
         path.write_text("m<<v:{b!{}}>>")
         assert main(["check", str(path), "--principal", "b"]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_online_checks_every_state(self, system_file, capsys):
+        assert main(["check", system_file, "--online"]) == 0
+        out = capsys.readouterr().out
+        assert "correct provenance: True" in out
+        assert "states, online" in out
+        assert "timings:" in out and "check=" in out
+
+    def test_online_flags_forged_initial_state(self, tmp_path, capsys):
+        path = tmp_path / "forged.pi"
+        path.write_text("m<<v:{b!{}}>>")
+        assert main(["check", str(path), "--online", "--principal", "b"]) == 1
+        assert "FAIL at state 0" in capsys.readouterr().out
 
 
 class TestAnalyse:

@@ -9,8 +9,15 @@ from repro.logs.ast import (
     LogAction,
     LogPar,
     Unknown,
+    log_free_variables,
+    log_size,
 )
-from repro.logs.order import freshen_log, information_equivalent, log_leq
+from repro.logs.order import (
+    LogIndex,
+    freshen_log,
+    information_equivalent,
+    log_leq,
+)
 
 A, B = pr("a"), pr("b")
 M, N, V, W = ch("m"), ch("n"), ch("v"), ch("w")
@@ -155,6 +162,121 @@ class TestUnknown:
         phi = chain(snd(A, Unknown(), V), snd(B, Unknown(), W))
         psi = chain(snd(A, M, V), snd(B, N, W))
         assert log_leq(phi, psi)
+
+
+class TestLogIndex:
+    def test_index_decides_like_log_leq(self):
+        phi = chain(snd(A, X, V), rcv(A, N, X))
+        psi = chain(snd(A, M, V), rcv(A, N, M))
+        index = LogIndex(psi)
+        assert index.leq(phi)
+        assert not LogIndex(phi).leq(psi)
+
+    def test_try_extend_shares_the_indexed_suffix(self):
+        psi = chain(snd(A, M, V), rcv(B, N, W))
+        index = LogIndex(psi)
+        assert index.action_count == 2
+        grown = LogAction(snd(B, M, W), psi)  # a prepend, suffix shared
+        assert index.try_extend(grown)
+        assert index.action_count == 3
+        assert index.source is grown
+        assert index.leq(chain(snd(B, M, W)))
+        assert index.leq(psi)
+
+    def test_try_extend_rejects_unrelated_logs(self):
+        index = LogIndex(chain(snd(A, M, V)))
+        other = chain(snd(A, M, V))  # equal but not the same suffix object
+        assert not index.try_extend(other)
+        assert index.action_count == 1
+
+    def test_try_extend_rejects_binder_shadowing_suffix_variable(self):
+        # A prefix binder whose variable occurs anywhere in the suffix
+        # would change how the suffix freshens (capture of a free
+        # occurrence, or shadowing of a suffix binder — here ``y`` is
+        # both bound and used in a value position): the index must
+        # refuse and let the caller rebuild.
+        suffix = chain(rcv(B, Y, Y))
+        index = LogIndex(suffix)
+        grown = LogAction(snd(B, Y, N), suffix)
+        assert not index.try_extend(grown)
+        # the rebuilt reference: the suffix's value-position ``y`` is
+        # now bound by the new outer binder, so σ' may close it
+        probe = chain(rcv(B, X, N))
+        assert LogIndex(grown).leq(probe)
+
+    def test_try_extend_noop_on_same_log(self):
+        psi = chain(snd(A, M, V))
+        index = LogIndex(psi)
+        assert index.try_extend(psi)
+        assert index.action_count == 1
+
+    def test_positive_verdicts_monotone_under_extension(self):
+        # LEQ-Pre2: anything below ψ stays below every prepend-extension.
+        phi = chain(snd(A, X, V))
+        psi = chain(snd(A, M, V))
+        index = LogIndex(psi)
+        assert index.leq(phi)
+        grown = psi
+        for action in (rcv(B, N, W), snd(B, N, N), rcv(A, M, V)):
+            grown = LogAction(action, grown)
+            assert index.try_extend(grown)
+            assert index.leq(phi)
+
+
+class TestDeepChains:
+    """Regression: chain traversal must not recurse (the global log of a
+    monitored run is a cons chain — one action per step)."""
+
+    DEPTH = 5_000
+
+    def _deep_chain(self, binders: bool = False):
+        principals = [A, B]
+        channels = [M, N, V, W]
+        log = EMPTY_LOG
+        for index in range(self.DEPTH):
+            if binders and index % 7 == 0:
+                operands = (var(f"b{index}"), channels[index % 4])
+            else:
+                operands = (channels[index % 4], channels[(index + 1) % 4])
+            kind = ActionKind.SND if index % 2 else ActionKind.RCV
+            log = LogAction(
+                Action(kind, principals[index % 2], operands), log
+            )
+        return log
+
+    def test_log_size_iterative(self):
+        assert log_size(self._deep_chain()) == self.DEPTH
+
+    def test_log_free_variables_iterative(self):
+        assert log_free_variables(self._deep_chain(binders=True)) == frozenset()
+
+    def test_freshen_log_iterative(self):
+        deep = self._deep_chain(binders=True)
+        fresh = freshen_log(deep, "_t")
+        assert log_size(fresh) == self.DEPTH
+
+    def test_str_iterative(self):
+        rendered = str(self._deep_chain())
+        assert rendered.count(";") == self.DEPTH - 1
+
+    def test_log_leq_on_deep_chains(self):
+        deep = self._deep_chain()
+        assert log_leq(deep, deep)
+        # a strict suffix (everything but the most recent 100 actions)
+        suffix = deep
+        for _ in range(100):
+            suffix = suffix.child
+        assert log_leq(suffix, deep)
+        # refutation via a signature the deep log never records
+        foreign = LogAction(snd(pr("outsider"), M, V), deep)
+        assert not log_leq(foreign, deep)
+
+    def test_index_extension_over_deep_prefix(self):
+        suffix = self._deep_chain()
+        index = LogIndex(suffix)
+        grown = LogAction(snd(A, M, V), suffix)
+        assert index.try_extend(grown)
+        assert index.action_count == self.DEPTH + 1
 
 
 class TestEquivalence:
