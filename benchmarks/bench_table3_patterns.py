@@ -1,4 +1,4 @@
-"""E3 (Table 3): pattern matching — reference rules vs compiled NFA.
+"""E3 (Table 3): pattern matching — reference rules vs NFA vs lazy DFA.
 
 The declarative rules of Table 3 (the naive matcher) try every split of
 the provenance for ``π;π'`` and ``π*``; the compiled matcher simulates a
@@ -6,6 +6,12 @@ Thompson NFA.  Expected shape: comparable on tiny inputs; the naive
 matcher degrades super-linearly on split-heavy patterns while the NFA
 stays linear in provenance length — the crossover arrives within a few
 dozen events.
+
+The lazy-DFA rows additionally record the **cold vs warm** split of the
+incremental engine so the perf-trajectory JSON captures hit rates, not
+just wall time: a cold match pays one transition per spine event; a
+warm re-match of the same (or an extended) provenance is a run-cache
+hit and consumes no transitions at all.
 """
 
 import pytest
@@ -20,6 +26,7 @@ from repro.patterns.ast import (
     Repetition,
     Sequence,
 )
+from repro.patterns.dfa import PolicyEngine
 from repro.patterns.naive import naive_matches
 from repro.patterns.nfa import NFAMatcher
 from repro.patterns.parse import parse_pattern
@@ -118,3 +125,52 @@ def test_warm_cache_amortization(benchmark):
     matcher = NFAMatcher()
     matcher.matches(provenance, pattern)  # warm
     benchmark(matcher.matches, provenance, pattern)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("name", list(PATTERNS))
+def test_lazy_dfa_cold_vs_warm(benchmark, name, length):
+    """One row per (pattern, length) with the cold/warm hit-rate split.
+
+    Cold: a fresh engine decides the full spine (one transition per
+    event plus nested tests).  Warm: the relay access pattern — re-decide
+    every growing prefix ``cons*(e, κ)`` oldest-first, which the run
+    cache answers with one transition per *new* event.  The recorded
+    hit rate is warm hits over warm queries (1.0 means every re-vet of
+    an already-seen spine was O(1) with zero transitions).
+    """
+
+    provenance = chain_provenance(length)
+    pattern = PATTERNS[name]
+
+    cold_engine = PolicyEngine()
+    cold_result = cold_engine.matches(provenance, pattern)
+    cold = cold_engine.stats()
+
+    warm_engine = PolicyEngine()
+    growing = list(provenance.suffixes())[::-1]  # ε first, full spine last
+    for prefix in growing:
+        warm_engine.matches(prefix, pattern)
+    warm_before = warm_engine.stats()
+    for prefix in growing:  # second sweep: pure cache hits
+        result = warm_engine.matches(prefix, pattern)
+    warm = warm_engine.stats()
+    assert result == cold_result
+    assert warm["transitions_taken"] == warm_before["transitions_taken"]
+
+    warm_queries = warm["run_cache_hits"] + warm["run_cache_misses"]
+    hit_rate = warm["run_cache_hits"] / warm_queries if warm_queries else 1.0
+    record_row(
+        "E3-patterns",
+        f"dfa   {name:14s} len={length:3d}: match={cold_result} "
+        f"cold_transitions={cold['transitions_taken']:4d} "
+        f"warm_transitions=+0 hit_rate={hit_rate:.2f}",
+    )
+
+    matcher = PolicyEngine()
+
+    def matched():
+        matcher.clear()  # measure cold matching, like the NFA rows
+        return matcher.matches(provenance, pattern)
+
+    benchmark(matched)

@@ -6,7 +6,9 @@ from repro.analysis.audit import (
     RoutePolicy,
     blame,
     custody_chain,
+    first_compliant_suffix,
     involved_principals,
+    matching_suffixes,
     transfers,
 )
 from repro.analysis.privacy import Disclosure, DisclosurePolicy

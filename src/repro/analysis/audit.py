@@ -10,7 +10,12 @@ in making the error.  This module turns that reading into tooling:
   chronological chain of custody;
 * :func:`transfers` — the chain folded into (sender → receiver) hops;
 * :func:`blame` — diff the actual route against a :class:`RoutePolicy`
-  and point at the principals around the first deviation.
+  and point at the principals around the first deviation;
+* :func:`matching_suffixes` / :func:`first_compliant_suffix` — pattern
+  queries over a trace ("since when does this history satisfy π?"),
+  riding the incremental lazy-DFA engine: every suffix of the spine *is*
+  an interned node, so querying all of them costs one spine pass, and a
+  provenance already vetted by the runtime answers from cache.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.names import Principal
+from repro.core.patterns import Pattern
 from repro.core.provenance import InputEvent, OutputEvent, Provenance
+from repro.patterns.ast import SamplePattern
+from repro.patterns.dfa import PolicyEngine, default_engine
 
 __all__ = [
     "CustodyStep",
@@ -29,6 +37,8 @@ __all__ = [
     "RoutePolicy",
     "AuditReport",
     "blame",
+    "matching_suffixes",
+    "first_compliant_suffix",
 ]
 
 
@@ -91,6 +101,60 @@ def transfers(provenance: Provenance) -> list[tuple[Principal, Principal]]:
         else:
             index += 1
     return hops
+
+
+def _suffix_matches(pattern: Pattern, engine: PolicyEngine):
+    """One decision procedure for a whole suffix sweep.
+
+    Sample patterns go through the incremental engine: deciding the
+    longest suffix caches the DFA state at *every* spine node, so the
+    remaining suffixes are pure cache hits — the sweep is one tail→head
+    pass regardless of how many suffixes are inspected.  Foreign
+    patterns fall back to their own ``matches``.
+    """
+
+    if isinstance(pattern, SamplePattern):
+        return lambda suffix: engine.matches(suffix, pattern)
+    return pattern.matches
+
+
+def matching_suffixes(
+    provenance: Provenance,
+    pattern: Pattern,
+    engine: PolicyEngine | None = None,
+) -> list[Provenance]:
+    """All suffixes ``κᵢ`` of the spine with ``κᵢ ⊨ π``, longest first.
+
+    The auditor's "since when" query: each suffix is the value's history
+    as of some earlier moment, so the matching suffixes are exactly the
+    moments at which the policy held.  Suffixes are the interned spine
+    nodes themselves (zero allocation) and the whole sweep costs one
+    incremental-DFA pass.
+    """
+
+    decide = _suffix_matches(pattern, engine or default_engine())
+    return [suffix for suffix in provenance.suffixes() if decide(suffix)]
+
+
+def first_compliant_suffix(
+    provenance: Provenance,
+    pattern: Pattern,
+    engine: PolicyEngine | None = None,
+) -> Optional[Provenance]:
+    """The *longest* suffix satisfying ``π`` — ``None`` if none does.
+
+    When the full history fails a policy the value was expected to meet,
+    this locates the deviation: every event more recent than the
+    returned suffix happened after compliance was lost (the paper's
+    auditing reading: the heads between full history and compliant
+    suffix are the suspects).
+    """
+
+    decide = _suffix_matches(pattern, engine or default_engine())
+    for suffix in provenance.suffixes():
+        if decide(suffix):
+            return suffix
+    return None
 
 
 @dataclass(frozen=True, slots=True)

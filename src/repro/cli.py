@@ -7,6 +7,8 @@ stdin when the path is ``-``)::
     python -m repro explore system.pi --max-states 5000
     python -m repro check system.pi          # monitored run + Theorem 1
     python -m repro check system.pi --online # every state, incrementally
+    python -m repro sim system.pi            # simulated cluster + metrics
+    python -m repro sim system.pi --vetting nfa  # A/B the vetting path
     python -m repro analyse system.pi        # static flow verdicts
     python -m repro fmt system.pi            # parse and pretty-print
 
@@ -102,6 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every state of the run with the incremental online "
         "monitor (default: batch-check only the final state)",
+    )
+
+    sim_p = sub.add_parser(
+        "sim", help="deploy on the simulated distributed runtime"
+    )
+    common(sim_p)
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument("--max-events", type=int, default=1_000_000)
+    sim_p.add_argument(
+        "--vetting",
+        choices=["bank", "nfa"],
+        default="bank",
+        help="incremental lazy-DFA policy bank (default) or the "
+        "per-message NFA re-simulation reference",
+    )
+    sim_p.add_argument(
+        "--erased", action="store_true",
+        help="run the untracked baseline semantics",
     )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
@@ -206,6 +226,43 @@ def main(argv: list[str] | None = None) -> int:
             parse=parse_seconds, reduce=reduce_seconds, check=check_seconds
         )
         return 0 if report.holds else 1
+
+    if args.command == "sim":
+        from repro.runtime import DistributedRuntime
+
+        mode = SemanticsMode.ERASED if args.erased else SemanticsMode.TRACKED
+        runtime = DistributedRuntime(
+            seed=args.seed, mode=mode, vetting=args.vetting
+        )
+        deploy_start = perf_counter()
+        runtime.deploy(system)
+        events = runtime.run(max_events=args.max_events)
+        run_seconds = perf_counter() - deploy_start
+        summary = runtime.metrics.summary()
+        print(
+            f"events={events} time={runtime.now:.2f} "
+            f"blocked={runtime.blocked_threads()}"
+        )
+        for key in (
+            "messages_sent",
+            "deliveries",
+            "bytes_total",
+            "bytes_provenance",
+            "pattern_checks",
+            "pattern_rejections",
+            "vet_transitions",
+            "vet_cache_hits",
+        ):
+            print(f"  {key} = {summary[key]}")
+        for pattern_text, count in summary["rejections_by_pattern"].items():
+            print(f"  rejected by {pattern_text}: {count}")
+        stats = runtime.middleware.vetting_stats()
+        print(
+            f"vetting[{args.vetting}]: "
+            + " ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        )
+        _print_timings(parse=parse_seconds, simulate=run_seconds)
+        return 0
 
     if args.command == "analyse":
         report = analyse_flow(system, k=args.k)

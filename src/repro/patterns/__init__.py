@@ -18,9 +18,21 @@ from repro.patterns.ast import (
     sent_by,
     seq,
 )
+from repro.patterns.dfa import (
+    LazyDFA,
+    PolicyBank,
+    PolicyEngine,
+    default_engine,
+)
 from repro.patterns.language import SAMPLE_LANGUAGE, SamplePatternLanguage
 from repro.patterns.naive import naive_matches
-from repro.patterns.nfa import NFA, NFAMatcher, compile_pattern, default_matcher
+from repro.patterns.nfa import (
+    NFA,
+    NFAMatcher,
+    compile_pattern,
+    default_matcher,
+    edge_accepts,
+)
 from repro.patterns.parse import parse_group, parse_pattern
 
 __all__ = [name for name in dir() if not name.startswith("_")]

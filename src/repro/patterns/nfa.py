@@ -38,10 +38,18 @@ from repro.patterns.ast import (
     Sequence,
 )
 
-__all__ = ["NFA", "compile_pattern", "NFAMatcher", "default_matcher"]
+__all__ = [
+    "NFA",
+    "WILDCARD",
+    "compile_pattern",
+    "edge_accepts",
+    "NFAMatcher",
+    "default_matcher",
+]
 
 
-_WILDCARD = "wild"
+WILDCARD = "wild"
+_WILDCARD = WILDCARD  # historical alias
 
 # An edge test: None is an epsilon edge; the wildcard consumes any event;
 # an EventPattern consumes one event satisfying the (recursive) test.
@@ -79,6 +87,25 @@ class NFA:
                     seen.add(target)
                     stack.append(target)
         return frozenset(seen)
+
+    def reverse(self) -> "NFA":
+        """The automaton for the reversed language.
+
+        Every edge is flipped and start/accept swap roles, so the reverse
+        accepts ``eₙ…e₁`` exactly when this automaton accepts ``e₁…eₙ``.
+        This is what :mod:`repro.patterns.dfa` determinizes: consuming a
+        provenance spine tail→head through the reversed automaton lets a
+        prepended event (the only update the semantics performs) extend a
+        cached run by a single transition.
+        """
+
+        reversed_nfa = NFA(edges=[[] for _ in self.edges])
+        for source, edges in enumerate(self.edges):
+            for test, target in edges:
+                reversed_nfa.edges[target].append((test, source))
+        reversed_nfa.start = self.accept
+        reversed_nfa.accept = self.start
+        return reversed_nfa
 
 
 def compile_pattern(pattern: SamplePattern) -> NFA:
@@ -124,6 +151,27 @@ def compile_pattern(pattern: SamplePattern) -> NFA:
     return nfa
 
 
+def edge_accepts(test: EdgeTest, event: Event, nested_matches) -> bool:
+    """Does one non-epsilon edge consume ``event``?
+
+    ``nested_matches(provenance, pattern)`` decides the recursive channel
+    test — the NFA matcher passes its own memoized :meth:`matches`, the
+    lazy-DFA engine passes its incremental one, so both matchers share
+    the single definition of what an event test means.
+    """
+
+    if test == WILDCARD:
+        return True
+    assert isinstance(test, EventPattern)
+    if test.direction == "!" and not isinstance(event, OutputEvent):
+        return False
+    if test.direction == "?" and not isinstance(event, InputEvent):
+        return False
+    if not test.group.contains(event.principal):
+        return False
+    return nested_matches(event.channel_provenance, test.channel_pattern)
+
+
 class NFAMatcher:
     """Decides ``κ ⊨ π`` via compiled NFAs with memoization.
 
@@ -136,6 +184,14 @@ class NFAMatcher:
         self._cache_limit = cache_limit
         self._compiled: dict[SamplePattern, NFA] = {}
         self._decided: dict[tuple[Provenance, SamplePattern], bool] = {}
+        self.events_stepped = 0
+        """Spine events consumed by subset simulation (cache hits consume
+        none) — the work counter the incremental-vetting benchmark
+        compares against the lazy DFA's transitions taken."""
+        self.decided_hits = 0
+        """Queries answered from the (provenance, pattern) memo — the
+        counterpart of the DFA engine's run-cache hits, so the A/B
+        metric surface is symmetric."""
 
     def compiled(self, pattern: SamplePattern) -> NFA:
         nfa = self._compiled.get(pattern)
@@ -152,6 +208,7 @@ class NFAMatcher:
         key = (provenance, pattern)
         decided = self._decided.get(key)
         if decided is not None:
+            self.decided_hits += 1
             return decided
         result = self._simulate(provenance, pattern)
         if len(self._decided) >= self._cache_limit:
@@ -163,30 +220,18 @@ class NFAMatcher:
         nfa = self.compiled(pattern)
         states = nfa.epsilon_closure(frozenset((nfa.start,)))
         for event in provenance:
+            self.events_stepped += 1
             moved: set[int] = set()
             for state in states:
                 for test, target in nfa.edges[state]:
                     if test is None or target in moved:
                         continue
-                    if self._edge_passes(test, event):
+                    if edge_accepts(test, event, self.matches):
                         moved.add(target)
             if not moved:
                 return False
             states = nfa.epsilon_closure(frozenset(moved))
         return nfa.accept in states
-
-    def _edge_passes(self, test: EdgeTest, event: Event) -> bool:
-        if test == _WILDCARD:
-            return True
-        assert isinstance(test, EventPattern)
-        if test.direction == "!" and not isinstance(event, OutputEvent):
-            return False
-        if test.direction == "?" and not isinstance(event, InputEvent):
-            return False
-        if not test.group.contains(event.principal):
-            return False
-        # Recursive nested test on the channel provenance; memoized.
-        return self.matches(event.channel_provenance, test.channel_pattern)
 
     def cache_sizes(self) -> tuple[int, int]:
         """(compiled patterns, decided queries) — for tests and benches."""

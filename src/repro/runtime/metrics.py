@@ -2,19 +2,32 @@
 
 The §5 discussion of the paper motivates measuring the run-time overhead
 of dynamic provenance tracking; these counters are the measurement
-surface for experiments E13 (metadata overhead) and the runtime half of
-E2's ablation.
+surface for experiments E13 (metadata overhead), the runtime half of
+E2's ablation, and the incremental-vetting A/B (E18).
+
+Byte accounting is **lazy**: serializing a payload exists only to price
+it (network latency never depends on size), so :meth:`record_send`
+takes a *sizer* thunk and defers the encode until a byte metric is
+read — or until ``PENDING_SIZER_BOUND`` sends have accumulated, at
+which point the batch settles so the pending list (each thunk pins its
+payload) stays bounded on arbitrarily long runs.  A run of up to the
+bound that never looks at ``bytes_*`` never encodes;
+``RuntimeMetrics(detailed=False)`` drops the thunks entirely (bytes
+report 0) when byte metrics are not wanted at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.names import Channel, Principal
 from repro.core.values import AnnotatedValue
 
 __all__ = ["DeliveryRecord", "RuntimeMetrics"]
+
+PayloadSizer = Callable[[], tuple[int, int]]
+"""Deferred encode: returns ``(payload_bytes, provenance_bytes)``."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,27 +45,97 @@ class DeliveryRecord:
 class RuntimeMetrics:
     """Counters and series accumulated over a simulation run."""
 
+    detailed: bool = True
+    """False drops byte accounting entirely instead of deferring it."""
+
     messages_sent: int = 0
     deliveries: int = 0
-    bytes_total: int = 0
-    bytes_payload: int = 0
-    bytes_provenance: int = 0
     pattern_checks: int = 0
+    """Payload *components* vetted (one ``κ ⊨ π`` decision each)."""
+
     pattern_rejections: int = 0
+    """Components whose pattern refused them (vetting stops at the first)."""
+
+    rejections_by_pattern: dict[str, int] = field(default_factory=dict)
+    """Rejection counts keyed by the rejecting pattern's rendering."""
+
+    vet_transitions: int = 0
+    """Automaton work done by ``Middleware.vet``: lazy-DFA transitions
+    taken (bank mode) or NFA spine events consumed (reference mode)."""
+
+    vet_cache_hits: int = 0
+    """Vet queries answered entirely from a cached spine run."""
+
     forgeries_blocked: int = 0
     forgeries_accepted: int = 0
     provenance_spine_lengths: list[int] = field(default_factory=list)
     provenance_event_counts: list[int] = field(default_factory=list)
     delivery_latencies: list[float] = field(default_factory=list)
     delivered: list[DeliveryRecord] = field(default_factory=list)
+    _bytes_total: int = 0
+    _bytes_payload: int = 0
+    _bytes_provenance: int = 0
+    _pending_sizers: list[PayloadSizer] = field(default_factory=list)
 
-    def record_send(
-        self, payload_bytes: int, provenance_bytes: int
-    ) -> None:
+    PENDING_SIZER_BOUND = 4096
+    """Deferred sends are settled in batches past this bound, so the
+    pending list (each thunk pins its stamped payload) stays O(1) on
+    arbitrarily long runs while short runs that never read a byte
+    metric still pay zero encodes."""
+
+    def record_send(self, sizer: PayloadSizer) -> None:
+        """Count a send; defer its byte accounting to ``sizer``.
+
+        The thunk runs at most once — on the first read of any byte
+        metric after this send, or when the pending batch fills — and
+        never if ``detailed`` is off.
+        """
+
         self.messages_sent += 1
-        self.bytes_total += payload_bytes + provenance_bytes
-        self.bytes_payload += payload_bytes
-        self.bytes_provenance += provenance_bytes
+        if self.detailed:
+            self._pending_sizers.append(sizer)
+            if len(self._pending_sizers) >= self.PENDING_SIZER_BOUND:
+                self._settle_bytes()
+
+    def record_rejection(self, pattern: Any) -> None:
+        """Attribute a vetting rejection to the pattern that refused."""
+
+        self.pattern_rejections += 1
+        key = str(pattern)
+        self.rejections_by_pattern[key] = (
+            self.rejections_by_pattern.get(key, 0) + 1
+        )
+
+    def _settle_bytes(self) -> None:
+        if not self._pending_sizers:
+            return
+        pending, self._pending_sizers = self._pending_sizers, []
+        for sizer in pending:
+            payload_bytes, provenance_bytes = sizer()
+            self._bytes_total += payload_bytes + provenance_bytes
+            self._bytes_payload += payload_bytes
+            self._bytes_provenance += provenance_bytes
+
+    @property
+    def bytes_total(self) -> int:
+        self._settle_bytes()
+        return self._bytes_total
+
+    @property
+    def bytes_payload(self) -> int:
+        self._settle_bytes()
+        return self._bytes_payload
+
+    @property
+    def bytes_provenance(self) -> int:
+        self._settle_bytes()
+        return self._bytes_provenance
+
+    @property
+    def pending_byte_accounting(self) -> int:
+        """Sends whose encode is still deferred — for tests and benches."""
+
+        return len(self._pending_sizers)
 
     def record_delivery(self, record: DeliveryRecord, latency: float) -> None:
         self.deliveries += 1
@@ -84,6 +167,9 @@ class RuntimeMetrics:
             "provenance_overhead_ratio": round(self.provenance_overhead_ratio, 4),
             "pattern_checks": self.pattern_checks,
             "pattern_rejections": self.pattern_rejections,
+            "rejections_by_pattern": dict(self.rejections_by_pattern),
+            "vet_transitions": self.vet_transitions,
+            "vet_cache_hits": self.vet_cache_hits,
             "forgeries_blocked": self.forgeries_blocked,
             "forgeries_accepted": self.forgeries_accepted,
             "max_provenance_spine": max(spine, default=0),

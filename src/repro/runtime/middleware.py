@@ -12,13 +12,23 @@ Architecture:
 * one :class:`ChannelManager` per channel name — the rendezvous point
   holding undelivered messages and waiting receivers (an implementation
   of the calculus' message terms ``n⟨⟨w⟩⟩``);
-* :class:`Middleware` — the API nodes call: ``send`` serializes the
-  payload (bytes are counted — experiment E13 measures real metadata
-  overhead), stamps the output event and routes to the manager with
-  network latency; ``receive`` registers branch patterns and a
-  continuation, and the manager fires the first branch whose patterns
-  admit an available message, stamping the input event before handing the
-  values over;
+* :class:`Middleware` — the API nodes call: ``send`` stamps the output
+  event and routes to the manager with network latency (byte accounting
+  for experiment E13 is deferred to :class:`RuntimeMetrics` sizer
+  thunks, so the encode is only paid when the metric is read);
+  ``receive`` registers branch patterns and a continuation, and the
+  manager fires the first branch whose patterns admit an available
+  message, stamping the input event before handing the values over.
+
+Pattern vetting is incremental by default (``vetting="bank"``): every
+sample pattern registered on a channel's receive branches is fused into
+one :class:`repro.patterns.dfa.PolicyBank`, whose reversed lazy DFAs
+cache their reached state per interned spine node — so vetting a value
+that gained one event since its last hop costs one memoized transition
+instead of a whole-history NFA re-simulation.  ``vetting="nfa"`` keeps
+the per-message subset simulation as the A/B reference
+(``benchmarks/bench_patterns_incremental.py`` gates the differential
+and the work ratio).
 * ``inject_raw`` — the unchecked path an adversary would use; with
   integrity enforcement on (the default) unsigned injections are dropped,
   modelling the digital-signature scheme the paper appeals to.
@@ -35,6 +45,9 @@ from repro.core.patterns import Pattern
 from repro.core.provenance import InputEvent, OutputEvent, Provenance
 from repro.core.semantics import SemanticsMode
 from repro.core.values import AnnotatedValue
+from repro.patterns.ast import SamplePattern
+from repro.patterns.dfa import PolicyBank, PolicyEngine
+from repro.patterns.nfa import NFAMatcher
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
 from repro.runtime.network import Network
 from repro.runtime.simulator import Simulator
@@ -89,6 +102,29 @@ class ChannelManager:
         self._waiters: list[PendingReceive] = []
         self._consumed_count = 0
         self._scan_start = 0
+        self._patterns: dict[Pattern, None] = {}
+        self._bank: Optional[PolicyBank] = None
+        self._bank_patterns: tuple[Pattern, ...] = ()
+
+    def policy_bank(self) -> PolicyBank:
+        """The fused bank over every pattern ever registered here.
+
+        Rebuilt only when a registration introduces a pattern the
+        channel has not seen — the common case of a stable protocol
+        rebuilds once.  A rebuild starts the wider state vector's run
+        cache cold (its first vet replays the spine through *memoized*
+        transitions — the compiled DFAs and their transition tables are
+        shared by the engine, so the replay is table lookups, not subset
+        construction), and the superseded bank is discarded so it stops
+        pinning spine nodes.
+        """
+
+        if self._bank is None:
+            if self._bank_patterns:
+                self._middleware.policy.discard_bank(self._bank_patterns)
+            self._bank_patterns = tuple(self._patterns)
+            self._bank = self._middleware.policy.bank(self._bank_patterns)
+        return self._bank
 
     @property
     def queued_messages(self) -> int:
@@ -103,6 +139,11 @@ class ChannelManager:
         self._match()
 
     def register(self, pending: PendingReceive) -> None:
+        for branch in pending.branches:
+            for pattern in branch.patterns:
+                if pattern not in self._patterns:
+                    self._patterns[pattern] = None
+                    self._bank = None
         self._waiters.append(pending)
         self._match()
 
@@ -140,11 +181,12 @@ class ChannelManager:
 
     def _try_deliver(self, waiter: PendingReceive) -> bool:
         middleware = self._middleware
+        bank = self.policy_bank() if middleware.vetting == "bank" else None
         for message_index, stored in enumerate(self._messages):
             for branch_index, branch in enumerate(waiter.branches):
                 if branch.arity != len(stored.payload):
                     continue
-                if not middleware.vet(branch.patterns, stored.payload):
+                if not middleware.vet(branch.patterns, stored.payload, bank):
                     continue
                 del self._messages[message_index]
                 waiter.consumed = True
@@ -177,15 +219,21 @@ class Middleware:
         mode: SemanticsMode = SemanticsMode.TRACKED,
         enforce_integrity: bool = True,
         wire_version: int = WIRE_V2,
+        vetting: str = "bank",
     ) -> None:
         if wire_version not in (WIRE_V1, WIRE_V2):
             raise ValueError(f"unknown wire version {wire_version}")
+        if vetting not in ("bank", "nfa"):
+            raise ValueError(f"unknown vetting mode {vetting!r}")
         self.simulator = simulator
         self.network = network
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self.mode = mode
         self.enforce_integrity = enforce_integrity
         self.wire_version = wire_version
+        self.vetting = vetting
+        self.policy = PolicyEngine()
+        self.nfa_matcher = NFAMatcher()
         self.supply = NameSupply()
         self._managers: dict[Channel, ChannelManager] = {}
 
@@ -225,20 +273,64 @@ class Middleware:
         return tuple(value.record(event) for value in payload)
 
     def vet(
-        self, patterns: tuple[Pattern, ...], payload: tuple[AnnotatedValue, ...]
+        self,
+        patterns: tuple[Pattern, ...],
+        payload: tuple[AnnotatedValue, ...],
+        bank: Optional[PolicyBank] = None,
     ) -> bool:
-        """Pattern vetting ``κv ⊨ π`` per component (skipped when erased)."""
+        """Pattern vetting ``κv ⊨ π`` per component (skipped when erased).
 
-        self.metrics.pattern_checks += 1
+        Components are vetted left to right, each counted in
+        ``metrics.pattern_checks``; the first refusal is attributed to
+        its pattern (``metrics.rejections_by_pattern``) and stops the
+        scan.  ``bank`` — normally the channel's fused
+        :class:`PolicyBank` — lets every sample-pattern decision ride
+        the shared incremental state vector; without one, sample
+        patterns still go through the middleware's own engine.
+        """
+
         if self.mode is SemanticsMode.ERASED:
             return True
-        admitted = all(
-            pattern.matches(value.provenance)
-            for pattern, value in zip(patterns, payload)
+        metrics = self.metrics
+        engine = self.policy
+        nfa = self.nfa_matcher
+        transitions_before = engine.transitions_taken + nfa.events_stepped
+        hits_before = engine.run_cache_hits + nfa.decided_hits
+        admitted = True
+        for pattern, value in zip(patterns, payload):
+            metrics.pattern_checks += 1
+            if not self._admits(pattern, value.provenance, bank):
+                metrics.record_rejection(pattern)
+                admitted = False
+                break
+        metrics.vet_transitions += (
+            engine.transitions_taken + nfa.events_stepped - transitions_before
         )
-        if not admitted:
-            self.metrics.pattern_rejections += 1
+        metrics.vet_cache_hits += (
+            engine.run_cache_hits + nfa.decided_hits - hits_before
+        )
         return admitted
+
+    def _admits(
+        self,
+        pattern: Pattern,
+        provenance: Provenance,
+        bank: Optional[PolicyBank],
+    ) -> bool:
+        if isinstance(pattern, SamplePattern):
+            if self.vetting == "nfa":
+                return self.nfa_matcher.matches(provenance, pattern)
+            if bank is not None:
+                return bank.admits(provenance, pattern)
+            return self.policy.matches(provenance, pattern)
+        return pattern.matches(provenance)
+
+    def vetting_stats(self) -> dict[str, int]:
+        """Work counters of the active vetting path (for benches)."""
+
+        stats = self.policy.stats()
+        stats["nfa_events_stepped"] = self.nfa_matcher.events_stepped
+        return stats
 
     # -- node-facing API ---------------------------------------------------
 
@@ -248,27 +340,34 @@ class Middleware:
         channel: AnnotatedValue,
         payload: tuple[AnnotatedValue, ...],
     ) -> None:
-        """Asynchronous output: stamp, serialize, ship."""
+        """Asynchronous output: stamp, ship; byte accounting deferred.
+
+        Latency never depends on size, so serialization exists only to
+        price the message for E13 — the sizer thunk runs when (and only
+        when) someone reads a byte metric.  Honest accounting still:
+        provenance bytes are whatever the chosen codec ships beyond the
+        plain parts (under v2 shared subtrees are shipped once, so the
+        metadata tax reflects the DAG size).
+        """
 
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot send on non-channel {channel.value!r}")
         stamped = self.stamp_output(principal, channel.provenance, payload)
-        # Honest E13 accounting: provenance bytes are whatever the chosen
-        # codec ships beyond the plain parts (under v2 shared subtrees
-        # are shipped once, so the metadata tax reflects the DAG size).
-        if self.wire_version == WIRE_V1:
-            total_bytes = len(encode_payload(stamped))
-        else:
-            total_bytes = len(encode_payload_v2(stamped))
-        plain_bytes = len(encode_varint(len(stamped))) + sum(
-            len(encode_plain(value.value)) for value in stamped
+        encode = (
+            encode_payload if self.wire_version == WIRE_V1 else encode_payload_v2
         )
-        self.metrics.record_send(plain_bytes, total_bytes - plain_bytes)
+
+        def sizes() -> tuple[int, int]:
+            total_bytes = len(encode(stamped))
+            plain_bytes = len(encode_varint(len(stamped))) + sum(
+                len(encode_plain(value.value)) for value in stamped
+            )
+            return plain_bytes, total_bytes - plain_bytes
+
+        self.metrics.record_send(sizes)
         destination = self.manager(channel.value)
         posted_at = self.simulator.now
-        self.network.deliver(
-            total_bytes, lambda: destination.post(stamped, posted_at)
-        )
+        self.network.deliver(lambda: destination.post(stamped, posted_at))
 
     def receive(
         self,

@@ -2,8 +2,9 @@
 
 A deliberately small abstraction: messages take ``base + U(0, jitter)``
 time units to reach their channel manager, sampled from the simulator's
-seeded generator.  Per-message sizes are reported so bandwidth-style
-metrics can be derived.  Loss and partition are out of scope — the
+seeded generator — latency never depends on size, and byte accounting
+lives entirely in :class:`repro.runtime.metrics.RuntimeMetrics`
+(deferred sizer thunks).  Loss and partition are out of scope — the
 calculus' semantics assumes reliable (if arbitrarily delayed) delivery,
 and the paper's claims do not touch fault tolerance.
 """
@@ -32,7 +33,7 @@ class LatencyModel:
 
 
 class Network:
-    """Routes byte blobs to callbacks after a sampled delay."""
+    """Routes messages to callbacks after a sampled delay."""
 
     def __init__(
         self, simulator: Simulator, latency: LatencyModel = LatencyModel()
@@ -40,12 +41,10 @@ class Network:
         self.simulator = simulator
         self.latency = latency
         self.messages_in_flight = 0
-        self.bytes_carried = 0
 
-    def deliver(self, size_bytes: int, callback: Callable[[], None]) -> None:
+    def deliver(self, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` after a latency sample."""
 
-        self.bytes_carried += size_bytes
         self.messages_in_flight += 1
 
         def arrive() -> None:

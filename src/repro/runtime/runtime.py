@@ -40,10 +40,12 @@ class DistributedRuntime:
         replication_budget: int = 4,
         processing_delay: float = 0.0,
         wire_version: int = WIRE_V2,
+        vetting: str = "bank",
+        detailed_metrics: bool = True,
     ) -> None:
         self.simulator = Simulator(seed)
         self.network = Network(self.simulator, latency)
-        self.metrics = RuntimeMetrics()
+        self.metrics = RuntimeMetrics(detailed=detailed_metrics)
         self.middleware = Middleware(
             self.simulator,
             self.network,
@@ -51,6 +53,7 @@ class DistributedRuntime:
             mode=mode,
             enforce_integrity=enforce_integrity,
             wire_version=wire_version,
+            vetting=vetting,
         )
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay

@@ -20,9 +20,12 @@ from repro.workloads.random_systems import (
 from repro.workloads.scaling import (
     ChannelRelayWorkload,
     FanInFanOutWorkload,
+    VettedRelayWorkload,
     channel_relay_chain,
     fan_in_fan_out,
+    relay_guard,
     sinks_served,
+    vetted_relay_chain,
 )
 from repro.workloads.topologies import (
     ChainWorkload,

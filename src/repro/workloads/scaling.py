@@ -24,6 +24,14 @@ whole system turns quadratic (or worse) over a run.
   ``benchmarks/bench_provenance_sharing.py`` — maximal divergence between
   tree size and DAG size, hence between the v1 and v2 wire formats.
 
+* :func:`vetted_relay_chain` — a value is relayed hop to hop and **every
+  hop vets it** with a Table 3 pattern before accepting.  At hop ``i``
+  the payload's spine is ``2i−1`` events, so per-message re-simulation
+  pays Θ(n²) matcher work over a run while the incremental lazy-DFA bank
+  (``repro.patterns.dfa``) pays two memoized transitions per hop — the
+  serving-path shape gated by
+  ``benchmarks/bench_patterns_incremental.py``.
+
 The delivered values carry the full provenance story: a sink's value ends
 with ``sink?ε; relay!ε; relay?ε; source!ε`` — two hops of two events, so
 the scenario also exercises provenance growth under width (cf. the relay
@@ -39,6 +47,14 @@ from repro.core.builder import ch, inp, located, out, par, pr, sys_par, var
 from repro.core.names import Channel, Principal
 from repro.core.patterns import Pattern
 from repro.core.system import System, system_annotated_values
+from repro.patterns.ast import (
+    AnyPattern,
+    EventPattern,
+    GroupAll,
+    Repetition,
+    SamplePattern,
+    Sequence,
+)
 from repro.workloads.topologies import freeze
 
 __all__ = [
@@ -47,6 +63,9 @@ __all__ = [
     "sinks_served",
     "ChannelRelayWorkload",
     "channel_relay_chain",
+    "VettedRelayWorkload",
+    "relay_guard",
+    "vetted_relay_chain",
 ]
 
 
@@ -187,6 +206,97 @@ def channel_relay_chain(n_hops: int) -> ChannelRelayWorkload:
         carrier,
         hop_channels,
         observations,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class VettedRelayWorkload:
+    """A pattern-guarded relay chain and the names to assert about it."""
+
+    system: System
+    producer: Principal
+    relays: tuple[Principal, ...]
+    consumer: Principal
+    hop_channels: tuple[Channel, ...]
+    payload: Channel
+    guard: Pattern
+
+    @property
+    def hops(self) -> int:
+        return len(self.relays)
+
+    @property
+    def expected_deliveries(self) -> int:
+        """Every relay plus the consumer accepts exactly once."""
+
+        return len(self.relays) + 1
+
+
+def relay_guard() -> SamplePattern:
+    """``∼!any;(∼?any;∼!any)*`` — a well-formed relay history.
+
+    At vetting time a relayed value's spine (most recent first) is
+    always ``!, ?, !, ?, …, !``: the pending send, then alternating
+    receive/send pairs back to the producer's original output.  The
+    guard accepts exactly that shape from *any* principals — satisfied
+    at every hop of an honest chain, refused e.g. for a value that was
+    injected without a send or double-received.
+    """
+
+    anyone_sends = EventPattern("!", GroupAll(), AnyPattern())
+    anyone_receives = EventPattern("?", GroupAll(), AnyPattern())
+    return Sequence(
+        anyone_sends, Repetition(Sequence(anyone_receives, anyone_sends))
+    )
+
+
+def vetted_relay_chain(
+    n_hops: int, guard: Pattern | None = None
+) -> VettedRelayWorkload:
+    """``a[t₁⟨v⟩] ‖ Πᵢ pᵢ[tᵢ(π as x).tᵢ₊₁⟨x⟩] ‖ z[tₙ₊₁(π as x).freeze(x)]``.
+
+    The payload ``v`` hops ``a → p₁ → … → pₙ → z`` and every input —
+    each relay's and the consumer's — vets the accumulated provenance
+    against ``guard`` (default :func:`relay_guard`).  Hop ``i`` vets a
+    ``2i−1``-event spine that extends hop ``i−1``'s by exactly two
+    events, making this the canonical stress for incremental vetting:
+    total spine events vetted grow Θ(n²), events *added* grow Θ(n).
+    """
+
+    if n_hops < 0:
+        raise ValueError("n_hops must be non-negative")
+    if guard is None:
+        guard = relay_guard()
+    producer = pr("a")
+    consumer = pr("z")
+    relays = tuple(pr(f"p{i + 1}") for i in range(n_hops))
+    hop_channels = tuple(ch(f"t{i + 1}") for i in range(n_hops + 1))
+    payload = ch("v")
+    x = var("x")
+
+    components = [located(producer, out(hop_channels[0], payload))]
+    for index, relay in enumerate(relays):
+        components.append(
+            located(
+                relay,
+                inp(
+                    hop_channels[index],
+                    (guard, x),
+                    body=out(hop_channels[index + 1], x),
+                ),
+            )
+        )
+    components.append(
+        located(consumer, inp(hop_channels[-1], (guard, x), body=freeze(x)))
+    )
+    return VettedRelayWorkload(
+        sys_par(*components),
+        producer,
+        relays,
+        consumer,
+        hop_channels,
+        payload,
+        guard,
     )
 
 

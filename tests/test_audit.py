@@ -74,3 +74,51 @@ class TestBlame:
         report = blame(hijacked, self.INTENDED)
         assert report.deviated
         assert report.deviation_index == 0
+
+
+class TestTraceQueries:
+    """Pattern queries over a trace via the incremental lazy DFA."""
+
+    def test_matching_suffixes_are_the_compliant_moments(self):
+        from repro.analysis.audit import matching_suffixes
+        from repro.patterns.parse import parse_pattern
+
+        # suffixes of FAULTY, oldest-first growth: ε, a!, s?a!, s!s?a!, c?…
+        relayed = parse_pattern("~!any;(~?any;~!any)*")
+        compliant = matching_suffixes(FAULTY, relayed)
+        assert [len(suffix) for suffix in compliant] == [3, 1]
+        assert str(compliant[1]) == "a!{}"
+
+    def test_matching_suffixes_foreign_pattern_falls_back(self):
+        from repro.analysis.audit import matching_suffixes
+        from repro.core.patterns import MatchAll
+
+        assert len(matching_suffixes(FAULTY, MatchAll())) == len(FAULTY) + 1
+
+    def test_first_compliant_suffix_locates_deviation(self):
+        from repro.analysis.audit import first_compliant_suffix
+        from repro.patterns.parse import parse_pattern
+
+        # policy: the value must have gone straight from a to b
+        policy = parse_pattern("b?any;a!any")
+        suffix = first_compliant_suffix(FAULTY, policy)
+        assert suffix is None  # it never did
+        reached_s = first_compliant_suffix(
+            FAULTY, parse_pattern("s?any;a!any")
+        )
+        assert reached_s is not None and len(reached_s) == 2
+
+    def test_suffix_sweep_is_one_spine_pass(self):
+        from repro.analysis.audit import matching_suffixes
+        from repro.patterns.dfa import PolicyEngine
+        from repro.patterns.parse import parse_pattern
+
+        engine = PolicyEngine()
+        pattern = parse_pattern("(~!any|~?any)*")
+        events = tuple(
+            OutputEvent(pr(f"q{i}"), EMPTY) for i in range(30)
+        )
+        provenance = Provenance(events)
+        matching_suffixes(provenance, pattern, engine)
+        # one transition per spine event, not per (suffix, event) pair
+        assert engine.transitions_taken == len(events)

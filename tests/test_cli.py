@@ -90,3 +90,23 @@ class TestFmt:
         path.write_text("a[<<]")
         assert main(["fmt", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSim:
+    def test_sim_reports_metrics(self, system_file, capsys):
+        assert main(["sim", system_file]) == 0
+        out = capsys.readouterr().out
+        assert "deliveries = 2" in out
+        assert "vet_transitions" in out
+        assert "vetting[bank]" in out
+
+    def test_sim_nfa_reference_agrees(self, system_file, capsys):
+        assert main(["sim", system_file, "--vetting", "nfa"]) == 0
+        out = capsys.readouterr().out
+        assert "deliveries = 2" in out
+        assert "vetting[nfa]" in out
+
+    def test_sim_erased_mode(self, system_file, capsys):
+        assert main(["sim", system_file, "--erased"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern_checks = 0" in out

@@ -311,3 +311,117 @@ class TestScalingWorkload:
         trace = Engine().run(workload.system)
         assert trace.status is RunStatus.QUIESCENT
         assert sinks_served(workload, trace.final) == 5
+
+
+class TestIncrementalVetting:
+    """The lazy-DFA policy bank and the vetting metrics surface."""
+
+    def test_bank_and_nfa_modes_deliver_identically(self):
+        from repro.workloads import vetted_relay_chain
+
+        workload = vetted_relay_chain(8)
+        runs = {}
+        for vetting in ("bank", "nfa"):
+            runtime = DistributedRuntime(seed=5, vetting=vetting)
+            runtime.deploy(workload.system)
+            runtime.run()
+            assert runtime.metrics.deliveries == workload.expected_deliveries
+            runs[vetting] = [
+                (r.time, r.principal, r.channel, r.values)
+                for r in runtime.metrics.delivered
+            ]
+        assert runs["bank"] == runs["nfa"]
+
+    def test_bank_extends_cached_runs_instead_of_replaying(self):
+        from repro.workloads import vetted_relay_chain
+
+        hops = 12
+        runtime = DistributedRuntime(seed=5)
+        runtime.deploy(vetted_relay_chain(hops).system)
+        runtime.run()
+        # two new spine events per hop, one transition each, +1 first hop
+        assert runtime.metrics.vet_transitions == 2 * hops + 1
+        assert runtime.metrics.vet_cache_hits > 0
+
+    def test_unknown_vetting_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedRuntime(seed=1, vetting="psychic")
+
+    def test_pattern_checks_count_components(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(
+            parse_system("a[m<v,w>] || c[m(any as x, eps as y).0]")
+        )
+        runtime.run()
+        # both components vetted once: `any` admits, `eps` refuses
+        assert runtime.metrics.pattern_checks == 2
+        assert runtime.metrics.pattern_rejections == 1
+        assert runtime.metrics.rejections_by_pattern == {"eps": 1}
+        assert runtime.metrics.deliveries == 0
+
+    def test_rejections_attributed_per_pattern(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(
+            parse_system(
+                "a[m<v>] || a[m<w>] || c[m(b!any as x).0] || c[m(b!any as y).0]",
+                principals={"b"},
+            )
+        )
+        runtime.run()
+        summary = runtime.metrics.summary()
+        assert summary["rejections_by_pattern"] == {
+            "b!any": summary["pattern_rejections"]
+        }
+        assert summary["pattern_rejections"] >= 2
+
+    def test_erased_mode_counts_no_checks(self):
+        runtime = DistributedRuntime(seed=1, mode=SemanticsMode.ERASED)
+        runtime.deploy(parse_system("a[m<v>] || c[m(b!any as x).0]", principals={"b"}))
+        runtime.run()
+        assert runtime.metrics.pattern_checks == 0
+        assert runtime.metrics.vet_transitions == 0
+
+    def test_channel_bank_fuses_branch_patterns(self):
+        runtime = DistributedRuntime(seed=1)
+        runtime.deploy(
+            parse_system("a[m<v>] || b[(m(any as x).0 + m(a!any as y).0)]")
+        )
+        runtime.run()
+        manager = runtime.middleware.manager(M)
+        assert {str(p) for p in manager.policy_bank().patterns} == {
+            "any", "a!any"
+        }
+        assert runtime.metrics.deliveries == 1
+
+
+class TestLazyByteAccounting:
+    def test_encode_deferred_until_metric_read(self):
+        runtime = DistributedRuntime(seed=3)
+        runtime.deploy(parse_system("a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]"))
+        runtime.run()
+        metrics = runtime.metrics
+        assert metrics.pending_byte_accounting == metrics.messages_sent == 2
+        total = metrics.bytes_total  # settles the deferred sizers
+        assert metrics.pending_byte_accounting == 0
+        assert total == metrics.bytes_payload + metrics.bytes_provenance
+        assert metrics.bytes_provenance > 0
+
+    def test_detailed_false_drops_byte_accounting(self):
+        runtime = DistributedRuntime(seed=3, detailed_metrics=False)
+        runtime.deploy(parse_system("a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]"))
+        runtime.run()
+        metrics = runtime.metrics
+        assert metrics.messages_sent == 2
+        assert metrics.deliveries == 2
+        assert metrics.pending_byte_accounting == 0
+        assert metrics.bytes_total == 0
+        assert metrics.provenance_overhead_ratio == 0.0
+
+    def test_lazy_bytes_match_eager_wire_encoding(self):
+        from repro.runtime.wire import encode_payload_v2
+
+        runtime = DistributedRuntime(seed=3)
+        runtime.deploy(parse_system("a[m<v>]"))
+        runtime.run()
+        stamped = runtime.middleware.manager(M)._messages[0].payload
+        assert runtime.metrics.bytes_total == len(encode_payload_v2(stamped))

@@ -185,3 +185,60 @@ class TestFanInFanOut:
             fan_in_fan_out(0)
         with pytest.raises(ValueError):
             fan_in_fan_out(3, n_relays=-1)
+
+
+class TestVettedRelayChain:
+    def test_guard_admits_every_hop(self):
+        from repro.workloads import vetted_relay_chain
+
+        workload = vetted_relay_chain(5)
+        trace = run(workload.system)
+        assert trace.status is RunStatus.QUIESCENT
+        # n relay deliveries + the consumer's: nothing rejected anywhere
+        assert len(trace) == 2 * (workload.hops + 1)
+
+    def test_delivered_value_records_full_chain(self):
+        from repro.core.system import system_annotated_values
+        from repro.workloads import vetted_relay_chain
+
+        workload = vetted_relay_chain(3)
+        trace = run(workload.system)
+        longest = max(
+            (
+                value.provenance
+                for value in system_annotated_values(trace.final)
+                if value.value == workload.payload
+            ),
+            key=len,
+        )
+        # 3 relays + producer + consumer: 4 sends, 4 receives
+        assert len(longest) == 8
+        assert longest.head.principal == workload.consumer
+
+    def test_guard_refuses_injected_history(self):
+        from repro.core.builder import pr
+        from repro.core.provenance import EMPTY, InputEvent, Provenance
+        from repro.workloads import relay_guard
+
+        guard = relay_guard()
+        # a double-receive is not a well-formed relay history
+        double_receive = Provenance.of(
+            InputEvent(pr("x"), EMPTY), InputEvent(pr("y"), EMPTY)
+        )
+        assert not guard.matches(double_receive)
+        assert not guard.matches(EMPTY)
+
+    def test_system_is_closed_and_deterministic(self):
+        from repro.workloads import vetted_relay_chain
+
+        workload = vetted_relay_chain(4)
+        assert system_free_variables(workload.system) == frozenset()
+        assert workload.system == vetted_relay_chain(4).system
+
+    def test_negative_hops_rejected(self):
+        import pytest
+
+        from repro.workloads import vetted_relay_chain
+
+        with pytest.raises(ValueError):
+            vetted_relay_chain(-1)
