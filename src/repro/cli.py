@@ -123,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--erased", action="store_true",
         help="run the untracked baseline semantics",
     )
+    sim_p.add_argument(
+        "--scheduler",
+        choices=["runq", "heap"],
+        default="runq",
+        help="two-tier run-queue scheduler (default) or the seed's "
+        "single-heap reference; each is deterministic per seed, and "
+        "race-free systems run identically under both",
+    )
+    sim_p.add_argument(
+        "--metrics-retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap per-delivery metric series at the last N entries "
+        "(aggregates are streamed either way; default keeps everything)",
+    )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -232,7 +248,11 @@ def main(argv: list[str] | None = None) -> int:
 
         mode = SemanticsMode.ERASED if args.erased else SemanticsMode.TRACKED
         runtime = DistributedRuntime(
-            seed=args.seed, mode=mode, vetting=args.vetting
+            seed=args.seed,
+            mode=mode,
+            vetting=args.vetting,
+            scheduler=args.scheduler,
+            metrics_retention=args.metrics_retention,
         )
         deploy_start = perf_counter()
         runtime.deploy(system)

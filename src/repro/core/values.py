@@ -44,14 +44,22 @@ class AnnotatedValue:
             )
 
     def with_provenance(self, provenance: Provenance) -> "AnnotatedValue":
-        """The same plain value under a different provenance."""
+        """The same plain value under a different provenance.
 
-        return AnnotatedValue(self.value, provenance)
+        The plain part was validated when ``self`` was built, so the
+        clone bypasses ``__init__`` — this sits on the middleware's
+        per-delivery stamping path.
+        """
+
+        clone = object.__new__(AnnotatedValue)
+        object.__setattr__(clone, "value", self.value)
+        object.__setattr__(clone, "provenance", provenance)
+        return clone
 
     def record(self, event) -> "AnnotatedValue":
         """Prepend ``event`` to the provenance (the semantics' update)."""
 
-        return AnnotatedValue(self.value, self.provenance.cons(event))
+        return self.with_provenance(self.provenance.cons(event))
 
     def __str__(self) -> str:
         if self.provenance.is_empty:

@@ -8,7 +8,7 @@ from repro.runtime.middleware import (
     PendingReceive,
     ReceiveBranch,
 )
-from repro.runtime.network import LatencyModel, Network
+from repro.runtime.network import ZERO_LATENCY, LatencyModel, Network
 from repro.runtime.node import Node
 from repro.runtime.runtime import DistributedRuntime
 from repro.runtime.simulator import Simulator

@@ -14,12 +14,23 @@ payload) stays bounded on arbitrarily long runs.  A run of up to the
 bound that never looks at ``bytes_*`` never encodes;
 ``RuntimeMetrics(detailed=False)`` drops the thunks entirely (bytes
 report 0) when byte metrics are not wanted at all.
+
+The per-delivery series (``delivered`` records, latencies, spine
+lengths, event counts) are **streamed**: every aggregate
+:meth:`summary` reports — maxima, sums, counts — is maintained
+incrementally at record time, and the raw series exist only as an
+inspection surface.  ``retain=N`` (opt-in; the default ``None`` keeps
+everything, as the seed did) caps each series at its last ``N``
+entries, so a week-long soak holds O(N) memory while ``summary()`` —
+computed from the streaming aggregates, never from the capped series —
+stays byte-identical to an unbounded run.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, MutableSequence, Optional
 
 from repro.core.names import Channel, Principal
 from repro.core.values import AnnotatedValue
@@ -48,6 +59,12 @@ class RuntimeMetrics:
     detailed: bool = True
     """False drops byte accounting entirely instead of deferring it."""
 
+    retain: Optional[int] = None
+    """Cap each per-delivery series at its last ``retain`` entries.
+
+    ``None`` (default) keeps the full series.  Aggregates are streamed
+    either way, so :meth:`summary` is unaffected by the cap."""
+
     messages_sent: int = 0
     deliveries: int = 0
     pattern_checks: int = 0
@@ -68,14 +85,30 @@ class RuntimeMetrics:
 
     forgeries_blocked: int = 0
     forgeries_accepted: int = 0
-    provenance_spine_lengths: list[int] = field(default_factory=list)
-    provenance_event_counts: list[int] = field(default_factory=list)
-    delivery_latencies: list[float] = field(default_factory=list)
-    delivered: list[DeliveryRecord] = field(default_factory=list)
+    provenance_spine_lengths: MutableSequence[int] = field(default_factory=list)
+    provenance_event_counts: MutableSequence[int] = field(default_factory=list)
+    delivery_latencies: MutableSequence[float] = field(default_factory=list)
+    delivered: MutableSequence[DeliveryRecord] = field(default_factory=list)
     _bytes_total: int = 0
     _bytes_payload: int = 0
     _bytes_provenance: int = 0
     _pending_sizers: list[PayloadSizer] = field(default_factory=list)
+    _max_provenance_spine: int = 0
+    _max_provenance_events: int = 0
+    _sum_provenance_events: int = 0
+    _count_provenance_events: int = 0
+    _sum_latency: float = 0.0
+    _max_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.retain is not None:
+            if self.retain < 0:
+                raise ValueError(f"retain must be non-negative: {self.retain}")
+            cap = self.retain
+            self.provenance_spine_lengths = deque(maxlen=cap)
+            self.provenance_event_counts = deque(maxlen=cap)
+            self.delivery_latencies = deque(maxlen=cap)
+            self.delivered = deque(maxlen=cap)
 
     PENDING_SIZER_BOUND = 4096
     """Deferred sends are settled in batches past this bound, so the
@@ -83,16 +116,18 @@ class RuntimeMetrics:
     arbitrarily long runs while short runs that never read a byte
     metric still pay zero encodes."""
 
-    def record_send(self, sizer: PayloadSizer) -> None:
+    def record_send(self, sizer: Optional[PayloadSizer] = None) -> None:
         """Count a send; defer its byte accounting to ``sizer``.
 
         The thunk runs at most once — on the first read of any byte
         metric after this send, or when the pending batch fills — and
-        never if ``detailed`` is off.
+        never if ``detailed`` is off.  Callers on a ``detailed=False``
+        hot path may pass no sizer at all and skip even building the
+        closure; every other per-send counter still updates here.
         """
 
         self.messages_sent += 1
-        if self.detailed:
+        if self.detailed and sizer is not None:
             self._pending_sizers.append(sizer)
             if len(self._pending_sizers) >= self.PENDING_SIZER_BOUND:
                 self._settle_bytes()
@@ -137,13 +172,60 @@ class RuntimeMetrics:
 
         return len(self._pending_sizers)
 
+    @property
+    def keep_delivered(self) -> bool:
+        """Whether per-delivery records are retained at all.
+
+        ``retain=0`` callers (throughput benches, soak runs) skip even
+        constructing the :class:`DeliveryRecord` — see
+        :meth:`record_delivery_streaming`."""
+
+        return self.retain != 0
+
     def record_delivery(self, record: DeliveryRecord, latency: float) -> None:
-        self.deliveries += 1
+        # one pass per value: the aggregate updates mirror
+        # record_delivery_streaming with the series appends fused in
+        # (tests pin the two paths to identical summaries)
         self.delivery_latencies.append(latency)
         self.delivered.append(record)
+        self.deliveries += 1
+        self._sum_latency += latency
+        if latency > self._max_latency:
+            self._max_latency = latency
         for value in record.values:
-            self.provenance_spine_lengths.append(len(value.provenance))
-            self.provenance_event_counts.append(value.provenance.total_events())
+            spine = len(value.provenance)
+            events = value.provenance.total_events()
+            self.provenance_spine_lengths.append(spine)
+            self.provenance_event_counts.append(events)
+            if spine > self._max_provenance_spine:
+                self._max_provenance_spine = spine
+            if events > self._max_provenance_events:
+                self._max_provenance_events = events
+            self._sum_provenance_events += events
+            self._count_provenance_events += 1
+
+    def record_delivery_streaming(
+        self, values: tuple[AnnotatedValue, ...], latency: float
+    ) -> None:
+        """The aggregate-only half of :meth:`record_delivery`.
+
+        Every counter :meth:`summary` and :meth:`aggregates` read is
+        updated here, so a ``retain=0`` run reports identically to a
+        retained one."""
+
+        self.deliveries += 1
+        self._sum_latency += latency
+        if latency > self._max_latency:
+            self._max_latency = latency
+        for value in values:
+            spine = len(value.provenance)
+            events = value.provenance.total_events()
+            if spine > self._max_provenance_spine:
+                self._max_provenance_spine = spine
+            if events > self._max_provenance_events:
+                self._max_provenance_events = events
+            self._sum_provenance_events += events
+            self._count_provenance_events += 1
 
     @property
     def provenance_overhead_ratio(self) -> float:
@@ -153,11 +235,29 @@ class RuntimeMetrics:
             return 0.0
         return self.bytes_provenance / self.bytes_total
 
-    def summary(self) -> dict[str, Any]:
-        """A flat dict for reports and benchmark rows."""
+    def aggregates(self) -> dict[str, float]:
+        """Streaming latency/provenance aggregates for long-run reports.
 
-        spine = self.provenance_spine_lengths
-        events = self.provenance_event_counts
+        Computed from O(1) state maintained at record time — valid under
+        any ``retain`` cap, including ``retain=0``.
+        """
+
+        return {
+            "mean_delivery_latency": (
+                self._sum_latency / self.deliveries if self.deliveries else 0.0
+            ),
+            "max_delivery_latency": self._max_latency,
+            "max_provenance_events": self._max_provenance_events,
+            "retained_deliveries": len(self.delivered),
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """A flat dict for reports and benchmark rows.
+
+        Aggregates come from the streaming counters, so the summary of a
+        capped (``retain=N``) run is identical to an unbounded one.
+        """
+
         return {
             "messages_sent": self.messages_sent,
             "deliveries": self.deliveries,
@@ -172,8 +272,10 @@ class RuntimeMetrics:
             "vet_cache_hits": self.vet_cache_hits,
             "forgeries_blocked": self.forgeries_blocked,
             "forgeries_accepted": self.forgeries_accepted,
-            "max_provenance_spine": max(spine, default=0),
+            "max_provenance_spine": self._max_provenance_spine,
             "mean_provenance_events": (
-                sum(events) / len(events) if events else 0.0
+                self._sum_provenance_events / self._count_provenance_events
+                if self._count_provenance_events
+                else 0.0
             ),
         }

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.names import Channel, NameSupply, Principal
-from repro.core.patterns import Pattern
+from repro.core.patterns import MatchAll, Pattern
 from repro.core.provenance import InputEvent, OutputEvent, Provenance
 from repro.core.semantics import SemanticsMode
 from repro.core.values import AnnotatedValue
@@ -69,6 +69,19 @@ class ReceiveBranch:
 
     patterns: tuple[Pattern, ...]
     callback: Callable[[int, tuple[AnnotatedValue, ...]], None] = field(hash=False)
+    trivial: bool = field(init=False, default=False, compare=False)
+    """True when every pattern is ``MatchAll`` — the plain-pi common
+    case, decided once at registration so the delivery loop can admit
+    without a vetting call (the counters it would have bumped by zero
+    stay untouched; ``pattern_checks`` is bumped directly)."""
+
+    def __post_init__(self) -> None:
+        trivial = True
+        for pattern in self.patterns:
+            if type(pattern) is not MatchAll:
+                trivial = False
+                break
+        object.__setattr__(self, "trivial", trivial)
 
     @property
     def arity(self) -> int:
@@ -103,6 +116,7 @@ class ChannelManager:
         self._consumed_count = 0
         self._scan_start = 0
         self._patterns: dict[Pattern, None] = {}
+        self._has_sample = False
         self._bank: Optional[PolicyBank] = None
         self._bank_patterns: tuple[Pattern, ...] = ()
 
@@ -140,10 +154,14 @@ class ChannelManager:
 
     def register(self, pending: PendingReceive) -> None:
         for branch in pending.branches:
+            if branch.trivial:
+                continue  # MatchAll registers nothing worth banking
             for pattern in branch.patterns:
                 if pattern not in self._patterns:
                     self._patterns[pattern] = None
                     self._bank = None
+                    if self._middleware.is_sample_pattern(pattern):
+                        self._has_sample = True
         self._waiters.append(pending)
         self._match()
 
@@ -161,6 +179,8 @@ class ChannelManager:
         prefix skipped and the waiter list compacted lazily.
         """
 
+        if not self._messages:
+            return  # a registration with nothing queued cannot fire
         waiters = self._waiters
         start = self._scan_start
         while start < len(waiters) and waiters[start].consumed:
@@ -181,28 +201,40 @@ class ChannelManager:
 
     def _try_deliver(self, waiter: PendingReceive) -> bool:
         middleware = self._middleware
-        bank = self.policy_bank() if middleware.vetting == "bank" else None
+        bank = (
+            self.policy_bank()
+            if middleware.vetting == "bank" and self._has_sample
+            else None
+        )
+        erased = middleware.mode is SemanticsMode.ERASED
         for message_index, stored in enumerate(self._messages):
             for branch_index, branch in enumerate(waiter.branches):
                 if branch.arity != len(stored.payload):
                     continue
-                if not middleware.vet(branch.patterns, stored.payload, bank):
+                if branch.trivial:
+                    # every pattern is MatchAll: admitted by definition,
+                    # and the automaton counters it would leave at zero
+                    # are left at zero — only the checks are counted
+                    if not erased:
+                        middleware.metrics.pattern_checks += branch.arity
+                elif not middleware.vet(branch.patterns, stored.payload, bank):
                     continue
                 del self._messages[message_index]
                 waiter.consumed = True
                 values = middleware.stamp_input(
                     waiter.principal, waiter.channel_provenance, stored.payload
                 )
-                record = DeliveryRecord(
-                    middleware.simulator.now,
-                    waiter.principal,
-                    self.channel,
-                    values,
-                    branch_index,
-                )
-                middleware.metrics.record_delivery(
-                    record, middleware.simulator.now - stored.posted_at
-                )
+                metrics = middleware.metrics
+                now = middleware.simulator.now
+                if metrics.keep_delivered:
+                    record = DeliveryRecord(
+                        now, waiter.principal, self.channel, values, branch_index
+                    )
+                    metrics.record_delivery(record, now - stored.posted_at)
+                else:
+                    metrics.record_delivery_streaming(
+                        values, now - stored.posted_at
+                    )
                 branch.callback(branch_index, values)
                 return True
         return False
@@ -236,6 +268,22 @@ class Middleware:
         self.nfa_matcher = NFAMatcher()
         self.supply = NameSupply()
         self._managers: dict[Channel, ChannelManager] = {}
+        self._sample_types: dict[type, bool] = {}
+
+    def is_sample_pattern(self, pattern: Pattern) -> bool:
+        """``isinstance(pattern, SamplePattern)`` with a per-class cache.
+
+        Pattern classes go through ``ABCMeta.__instancecheck__``, which
+        is measurable at one call per vetted component; the class of a
+        pattern decides the answer, so it is cached by class.
+        """
+
+        cls = pattern.__class__
+        flag = self._sample_types.get(cls)
+        if flag is None:
+            flag = isinstance(pattern, SamplePattern)
+            self._sample_types[cls] = flag
+        return flag
 
     def manager(self, channel: Channel) -> ChannelManager:
         existing = self._managers.get(channel)
@@ -257,6 +305,8 @@ class Middleware:
         if self.mode is SemanticsMode.ERASED:
             return payload
         event = OutputEvent(principal, channel_provenance)
+        if len(payload) == 1:
+            return (payload[0].record(event),)
         return tuple(value.record(event) for value in payload)
 
     def stamp_input(
@@ -270,6 +320,8 @@ class Middleware:
         if self.mode is SemanticsMode.ERASED:
             return payload
         event = InputEvent(principal, channel_provenance)
+        if len(payload) == 1:
+            return (payload[0].record(event),)
         return tuple(value.record(event) for value in payload)
 
     def vet(
@@ -317,7 +369,7 @@ class Middleware:
         provenance: Provenance,
         bank: Optional[PolicyBank],
     ) -> bool:
-        if isinstance(pattern, SamplePattern):
+        if self.is_sample_pattern(pattern):
             if self.vetting == "nfa":
                 return self.nfa_matcher.matches(provenance, pattern)
             if bank is not None:
@@ -353,21 +405,31 @@ class Middleware:
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot send on non-channel {channel.value!r}")
         stamped = self.stamp_output(principal, channel.provenance, payload)
-        encode = (
-            encode_payload if self.wire_version == WIRE_V1 else encode_payload_v2
-        )
-
-        def sizes() -> tuple[int, int]:
-            total_bytes = len(encode(stamped))
-            plain_bytes = len(encode_varint(len(stamped))) + sum(
-                len(encode_plain(value.value)) for value in stamped
+        metrics = self.metrics
+        if metrics.detailed:
+            encode = (
+                encode_payload
+                if self.wire_version == WIRE_V1
+                else encode_payload_v2
             )
-            return plain_bytes, total_bytes - plain_bytes
 
-        self.metrics.record_send(sizes)
+            def sizes() -> tuple[int, int]:
+                total_bytes = len(encode(stamped))
+                plain_bytes = len(encode_varint(len(stamped))) + sum(
+                    len(encode_plain(value.value)) for value in stamped
+                )
+                return plain_bytes, total_bytes - plain_bytes
+
+            metrics.record_send(sizes)
+        else:
+            metrics.record_send()
         destination = self.manager(channel.value)
         posted_at = self.simulator.now
-        self.network.deliver(lambda: destination.post(stamped, posted_at))
+        self.network.deliver(
+            lambda: destination.post(stamped, posted_at),
+            sender=principal,
+            channel=channel.value,
+        )
 
     def receive(
         self,

@@ -1,22 +1,32 @@
-"""Simulated network: latency model and delivery.
+"""Simulated network: latency models, link topology, and delivery.
 
-A deliberately small abstraction: messages take ``base + U(0, jitter)``
-time units to reach their channel manager, sampled from the simulator's
+A deliberately small abstraction: a message takes ``base + U(0, jitter)``
+time units to reach its channel manager, sampled from the simulator's
 seeded generator — latency never depends on size, and byte accounting
 lives entirely in :class:`repro.runtime.metrics.RuntimeMetrics`
 (deferred sizer thunks).  Loss and partition are out of scope — the
 calculus' semantics assumes reliable (if arbitrarily delayed) delivery,
 and the paper's claims do not touch fault tolerance.
+
+Which *model* a message samples from may vary per link: a ``topology``
+callable maps ``(sender principal, channel)`` to the
+:class:`LatencyModel` for that hop, so a multi-region deployment can
+make intra-region hops free (they ride the simulator's O(1) run queue)
+while cross-region hops pay distance (they go to the timed heap).  A
+zero link (``LatencyModel(0.0, 0.0)``) samples no jitter and draws
+nothing from the generator, so adding or removing zero links never
+perturbs the random sequence timed links see.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.core.names import Channel, Principal
 from repro.runtime.simulator import Simulator
 
-__all__ = ["LatencyModel", "Network"]
+__all__ = ["LatencyModel", "Network", "ZERO_LATENCY"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,23 +42,58 @@ class LatencyModel:
         return self.base + rng.random() * self.jitter
 
 
+ZERO_LATENCY = LatencyModel(0.0, 0.0)
+"""A free link: zero-delay delivery, scheduled on the run queue."""
+
+Topology = Callable[[Optional[Principal], Optional[Channel]], LatencyModel]
+
+
 class Network:
-    """Routes messages to callbacks after a sampled delay."""
+    """Routes messages to callbacks after a sampled per-link delay."""
 
     def __init__(
-        self, simulator: Simulator, latency: LatencyModel = LatencyModel()
+        self,
+        simulator: Simulator,
+        latency: LatencyModel = LatencyModel(),
+        topology: Optional[Topology] = None,
     ) -> None:
         self.simulator = simulator
         self.latency = latency
+        self.topology = topology
         self.messages_in_flight = 0
 
-    def deliver(self, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` after a latency sample."""
+    def latency_for(
+        self,
+        sender: Optional[Principal] = None,
+        channel: Optional[Channel] = None,
+    ) -> LatencyModel:
+        """The model governing the ``sender → channel`` link."""
+
+        if self.topology is None:
+            return self.latency
+        return self.topology(sender, channel)
+
+    def deliver(
+        self,
+        callback: Callable[[], None],
+        sender: Optional[Principal] = None,
+        channel: Optional[Channel] = None,
+    ) -> None:
+        """Schedule ``callback`` after the link's latency sample.
+
+        The in-flight counter is balanced in a ``finally``: a callback
+        that raises (middleware vetting is allowed to throw on hostile
+        input) still retires its message, so the counter always returns
+        to zero on a drained simulator instead of drifting upward.
+        """
 
         self.messages_in_flight += 1
 
         def arrive() -> None:
-            self.messages_in_flight -= 1
-            callback()
+            try:
+                callback()
+            finally:
+                self.messages_in_flight -= 1
 
-        self.simulator.schedule(self.latency.sample(self.simulator.rng), arrive)
+        model = self.latency_for(sender, channel)
+        self.simulator.schedule(model.sample(self.simulator.rng), arrive)

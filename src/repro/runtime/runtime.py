@@ -20,8 +20,8 @@ from repro.core.semantics import SemanticsMode
 from repro.core.system import Located, Message, System
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.middleware import Middleware
-from repro.runtime.network import LatencyModel, Network
-from repro.runtime.node import Node
+from repro.runtime.network import LatencyModel, Network, Topology
+from repro.runtime.node import DEFAULT_BATCH_LIMIT, Node
 from repro.runtime.simulator import Simulator
 from repro.runtime.wire import WIRE_V2
 
@@ -29,7 +29,20 @@ __all__ = ["DistributedRuntime"]
 
 
 class DistributedRuntime:
-    """Simulator + network + middleware + nodes, wired together."""
+    """Simulator + network + middleware + nodes, wired together.
+
+    ``scheduler`` selects the substrate: ``"runq"`` (default) uses the
+    two-tier run-queue/heap scheduler with batched process
+    interpretation on the nodes; ``"heap"`` keeps the seed's
+    single-heap, one-event-per-tree-node substrate as the A/B reference.
+    Each is fully deterministic for a given seed, and for race-free
+    programs (no concurrently enabled receives competing for one
+    message in the same zero-latency instant) both execute the same run
+    — identical deliveries, times, and stamped values
+    (``benchmarks/bench_runtime_scaling.py`` gates that differential
+    and the throughput ratio; see :mod:`repro.runtime.node` for the
+    caveat on racy rendezvous).
+    """
 
     def __init__(
         self,
@@ -42,10 +55,16 @@ class DistributedRuntime:
         wire_version: int = WIRE_V2,
         vetting: str = "bank",
         detailed_metrics: bool = True,
+        scheduler: str = "runq",
+        topology: Optional[Topology] = None,
+        metrics_retention: Optional[int] = None,
+        batch_limit: Optional[int] = None,
     ) -> None:
-        self.simulator = Simulator(seed)
-        self.network = Network(self.simulator, latency)
-        self.metrics = RuntimeMetrics(detailed=detailed_metrics)
+        self.simulator = Simulator(seed, scheduler=scheduler)
+        self.network = Network(self.simulator, latency, topology=topology)
+        self.metrics = RuntimeMetrics(
+            detailed=detailed_metrics, retain=metrics_retention
+        )
         self.middleware = Middleware(
             self.simulator,
             self.network,
@@ -57,6 +76,9 @@ class DistributedRuntime:
         )
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay
+        if batch_limit is None and scheduler == "runq":
+            batch_limit = DEFAULT_BATCH_LIMIT
+        self.batch_limit = batch_limit
         self._nodes: dict[Principal, Node] = {}
 
     def node(self, principal: Principal) -> Node:
@@ -69,6 +91,7 @@ class DistributedRuntime:
                 self.middleware,
                 replication_budget=self.replication_budget,
                 processing_delay=self.processing_delay,
+                batch_limit=self.batch_limit,
             )
             self._nodes[principal] = existing
         return existing
@@ -87,13 +110,29 @@ class DistributedRuntime:
 
         self.middleware.supply.reserve(all_system_names(system))
         nf = normalize(system)
+        # consecutive components of one principal ride one batched
+        # event (spawn_group); interleaving stays exactly the normal
+        # form's component order, so heap and run-queue deployments
+        # execute the same run
+        group_principal: Optional[Principal] = None
+        group: list = []
         for component in nf.components:
             if isinstance(component, Located):
-                self.node(component.principal).spawn(component.process)
+                if component.principal != group_principal:
+                    if group:
+                        self.node(group_principal).spawn_group(group)
+                    group_principal = component.principal
+                    group = []
+                group.append(component.process)
             elif isinstance(component, Message):
+                if group:
+                    self.node(group_principal).spawn_group(group)
+                    group_principal, group = None, []
                 self.middleware.manager(component.channel).post(
                     component.payload, self.simulator.now
                 )
+        if group:
+            self.node(group_principal).spawn_group(group)
 
     def run(
         self, until: Optional[float] = None, max_events: int = 1_000_000
@@ -110,3 +149,13 @@ class DistributedRuntime:
         """Receivers currently waiting across all nodes."""
 
         return sum(node.blocked_threads for node in self._nodes.values())
+
+    def threads_spawned(self) -> int:
+        """Logical threads interpreted so far across all nodes.
+
+        One per process-tree node, whichever interpreter ran it — the
+        batched worklist and the seed's one-event-per-node path count
+        identically.
+        """
+
+        return sum(node.threads_spawned for node in self._nodes.values())

@@ -6,22 +6,53 @@ application code — on a *simulated* distributed substrate (the paper has
 no implementation and we have no cluster; the simulation exercises the
 same code paths: serialize, route, vet, deliver).
 
-This module is the clock: a classic event-queue simulator.  Determinism
-is a design requirement — all randomness (latency jitter) flows from one
-seeded generator, and simultaneous events tie-break on a monotone
-sequence number, so every run is exactly reproducible.
+This module is the clock.  Determinism is a design requirement — all
+randomness (latency jitter) flows from one seeded generator, and
+simultaneous events tie-break on a monotone sequence number, so every
+run is exactly reproducible.
+
+Scheduling is two-tier (``scheduler="runq"``, the default):
+
+* a FIFO **run queue** holds zero-delay events — the overwhelming
+  majority under heavy traffic: every process-tree continuation a node
+  spawns and every zero-latency hop.  Append and pop are O(1).
+* a binary **heap** holds genuinely timed events (network latency,
+  per-node processing delays) and pays the classic O(log n).
+
+The two tiers drain as one totally ordered stream.  Every event carries
+the key ``(time, sequence)``; the run queue only ever receives events
+stamped at the *current* clock reading, and both the clock and the
+sequence counter are monotone, so the run queue is itself sorted by that
+key and a single front-vs-top comparison per pop suffices to merge the
+tiers in exact heap order.  ``scheduler="heap"`` keeps the seed's
+single-heap scheduler as the A/B reference
+(``benchmarks/bench_runtime_scaling.py`` gates the throughput ratio and
+a delivered-trace differential).
+
+Determinism contract: each mode is fully deterministic — the same seed
+and the same ``schedule()`` call sequence replay the same callbacks in
+the same order, and given identical call sequences the two modes are
+order-identical (the merge above is exact, not approximate).  Note that
+the *runtime* couples the scheduler choice to the node interpreter
+(batched under ``runq``, per-node under ``heap``), which can issue
+``schedule()`` calls in a different grouping — see
+:mod:`repro.runtime.node` for when that distinction is observable.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
+from collections import deque
 from dataclasses import dataclass, field
+from random import Random
 from typing import Callable, Optional
 
 from repro.core.errors import SimulationError
 
 __all__ = ["Simulator"]
+
+_HEAP = 0
+_RUNQ = 1
 
 
 @dataclass(order=True)
@@ -30,6 +61,7 @@ class _Scheduled:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    tier: int = field(compare=False, default=_HEAP)
 
 
 class Simulator:
@@ -40,11 +72,19 @@ class Simulator:
     schedule further events.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, scheduler: str = "runq") -> None:
+        if scheduler not in ("runq", "heap"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.scheduler = scheduler
+        self._use_runq = scheduler == "runq"
         self.now: float = 0.0
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self._queue: list[_Scheduled] = []
+        self._runq: deque[_Scheduled] = deque()
         self._sequence = 0
+        self._live = 0
+        self._queue_cancelled = 0
+        self._runq_cancelled = 0
         self.events_processed = 0
 
     def schedule(
@@ -55,20 +95,70 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._sequence += 1
-        event = _Scheduled(self.now + delay, self._sequence, callback)
-        heapq.heappush(self._queue, event)
+        self._live += 1
+        if delay == 0.0 and self._use_runq:
+            event = _Scheduled(self.now, self._sequence, callback, tier=_RUNQ)
+            self._runq.append(event)
+        else:
+            event = _Scheduled(self.now + delay, self._sequence, callback)
+            heapq.heappush(self._queue, event)
         return event
 
     def cancel(self, event: _Scheduled) -> None:
-        """Mark a scheduled event as dead (it will be skipped)."""
+        """Mark a scheduled event as dead (it will be skipped).
 
+        The entry stays in its queue until the drain loop (or a
+        compaction) reaches it, but it no longer counts as pending, and
+        whenever corpses outnumber live entries in a tier the tier is
+        compacted — a cancel-heavy workload cannot grow either queue
+        beyond twice its live population.  Cancelling twice, or
+        cancelling an event that already ran, is a no-op.
+        """
+
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._live -= 1
+        if event.tier == _RUNQ:
+            self._runq_cancelled += 1
+            if self._runq_cancelled * 2 > len(self._runq):
+                self._runq = deque(e for e in self._runq if not e.cancelled)
+                self._runq_cancelled = 0
+        else:
+            self._queue_cancelled += 1
+            if self._queue_cancelled * 2 > len(self._queue):
+                self._queue = [e for e in self._queue if not e.cancelled]
+                heapq.heapify(self._queue)
+                self._queue_cancelled = 0
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-run (possibly cancelled) events."""
+        """Number of not-yet-run live (non-cancelled) events."""
 
-        return len(self._queue)
+        return self._live
+
+    def _next_event(self) -> Optional[_Scheduled]:
+        """The live event with the least ``(time, sequence)``, not popped.
+
+        Cancelled fronts are shed on the way, so the caller may pop the
+        returned event from its tier's front in O(1)/O(log n).
+        """
+
+        runq, queue = self._runq, self._queue
+        while runq and runq[0].cancelled:
+            runq.popleft()
+            self._runq_cancelled -= 1
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._queue_cancelled -= 1
+        if not runq:
+            return queue[0] if queue else None
+        if not queue:
+            return runq[0]
+        front, top = runq[0], queue[0]
+        if (front.time, front.sequence) <= (top.time, top.sequence):
+            return front
+        return top
 
     def run(
         self,
@@ -79,19 +169,56 @@ class Simulator:
 
         Stops when the queue is empty, simulated time passes ``until``, or
         ``max_events`` callbacks have run (a divergence guard for
-        replicated senders).
+        replicated senders).  On a windowed run (``until`` given) the
+        clock always advances to ``min(until, next event time)`` before
+        returning, so back-to-back windows compose exactly like one full
+        run — work scheduled between windows is stamped at the window
+        boundary, not at whatever instant the previous window's last
+        event happened to occupy.
         """
 
         processed = 0
-        while self._queue and processed < max_events:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._queue, event)
+        heappop = heapq.heappop
+        # the front containers are re-read every iteration: a cancel()
+        # inside a callback may compact (replace) either one
+        while processed < max_events:
+            runq, queue = self._runq, self._queue
+            while runq and runq[0].cancelled:
+                runq.popleft()
+                self._runq_cancelled -= 1
+            while queue and queue[0].cancelled:
+                heappop(queue)
+                self._queue_cancelled -= 1
+            if runq:
+                event = runq[0]
+                if queue:
+                    top = queue[0]
+                    if (top.time, top.sequence) < (event.time, event.sequence):
+                        event = top
+            elif queue:
+                event = queue[0]
+            else:
                 break
-            self.now = max(self.now, event.time)
+            if until is not None and event.time > until:
+                break
+            if event.tier == _RUNQ:
+                runq.popleft()
+            else:
+                heappop(queue)
+            self._live -= 1
+            # a popped event is no longer pending: flagging it makes a
+            # late cancel() a no-op instead of a live-count corruption
+            event.cancelled = True
+            if event.time > self.now:
+                self.now = event.time
             event.callback()
             processed += 1
             self.events_processed += 1
+        if until is not None:
+            horizon = until
+            upcoming = self._next_event()
+            if upcoming is not None and upcoming.time < horizon:
+                horizon = upcoming.time
+            if horizon > self.now:
+                self.now = horizon
         return processed

@@ -21,11 +21,13 @@ from repro.workloads.scaling import (
     ChannelRelayWorkload,
     FanInFanOutWorkload,
     VettedRelayWorkload,
+    WideFanoutWorkload,
     channel_relay_chain,
     fan_in_fan_out,
     relay_guard,
     sinks_served,
     vetted_relay_chain,
+    wide_fanout,
 )
 from repro.workloads.topologies import (
     ChainWorkload,

@@ -32,6 +32,17 @@ whole system turns quadratic (or worse) over a run.
   serving-path shape gated by
   ``benchmarks/bench_patterns_incremental.py``.
 
+* :func:`wide_fanout` — thousands of principals spread over regions,
+  each region a burst of intra-region traffic on per-source channels
+  (zero-latency links: pure run-queue load) plus one cross-region
+  beacon to a central collector (timed links sampled from per-link
+  :class:`~repro.runtime.network.LatencyModel`s).  Per-event middleware
+  work is O(1) by construction — no shared rendezvous channel, no
+  patterns — so the run measures the *substrate*: scheduler and
+  interpreter overhead dominate, which is exactly what
+  ``benchmarks/bench_runtime_scaling.py`` A/Bs between the two-tier
+  run-queue scheduler and the seed's single heap.
+
 The delivered values carry the full provenance story: a sink's value ends
 with ``sink?ε; relay!ε; relay?ε; source!ε`` — two hops of two events, so
 the scenario also exercises provenance growth under width (cf. the relay
@@ -42,8 +53,19 @@ which grows it under *nesting*).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.builder import ch, inp, located, out, par, pr, sys_par, var
+from repro.core.builder import (
+    ch,
+    inp,
+    located,
+    match,
+    out,
+    par,
+    pr,
+    sys_par,
+    var,
+)
 from repro.core.names import Channel, Principal
 from repro.core.patterns import Pattern
 from repro.core.system import System, system_annotated_values
@@ -55,6 +77,7 @@ from repro.patterns.ast import (
     SamplePattern,
     Sequence,
 )
+from repro.runtime.network import ZERO_LATENCY, LatencyModel, Topology
 from repro.workloads.topologies import freeze
 
 __all__ = [
@@ -66,6 +89,8 @@ __all__ = [
     "VettedRelayWorkload",
     "relay_guard",
     "vetted_relay_chain",
+    "WideFanoutWorkload",
+    "wide_fanout",
 ]
 
 
@@ -297,6 +322,168 @@ def vetted_relay_chain(
         hop_channels,
         payload,
         guard,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WideFanoutWorkload:
+    """A multi-region fan-out and the names/topology to run it with."""
+
+    system: System
+    regions: int
+    sources_per_region: int
+    burst: int
+    guard_depth: int
+    sources: tuple[Principal, ...]
+    sinks: tuple[Principal, ...]
+    reporters: tuple[Principal, ...]
+    collector: Principal
+    work_channels: tuple[Channel, ...]
+    board: Channel
+    topology: Topology
+
+    @property
+    def principal_count(self) -> int:
+        return len(self.sources) + len(self.sinks) + len(self.reporters) + 1
+
+    @property
+    def expected_messages(self) -> int:
+        """Local bursts plus one beacon per region."""
+
+        return self.regions * self.sources_per_region * self.burst + self.regions
+
+    @property
+    def expected_deliveries(self) -> int:
+        """Every message finds a dedicated receiver exactly once."""
+
+        return self.expected_messages
+
+
+def wide_fanout(
+    n_regions: int,
+    sources_per_region: int,
+    burst: int = 4,
+    guard_depth: int = 2,
+    cross_base: float = 5.0,
+    cross_jitter: float = 1.0,
+    region_spacing: float = 1.0,
+) -> WideFanoutWorkload:
+    """Thousands of principals; free intra-region links, timed cross-region.
+
+    Region ``r`` hosts ``sources_per_region`` sources, each bursting
+    ``burst`` copies of its value on a private channel to the region's
+    sink (one input thread per copy — no shared rendezvous point, so the
+    middleware does O(1) work per delivery), plus one *reporter* that
+    publishes the region's beacon on the central ``board`` channel homed
+    in a senderless core region — guarded by a ``Match`` so the
+    interpreter exercises conditional continuations too.  Link latency comes from a per-link
+    model: intra-region hops are :data:`~repro.runtime.network.ZERO_LATENCY`
+    (run-queue load; they draw nothing from the generator), while region
+    ``r``'s beacon pays ``cross_base + r·region_spacing + U(0,
+    cross_jitter)`` — every region a different
+    :class:`~repro.runtime.network.LatencyModel`, as a real multi-region
+    mesh would have.
+
+    Every burst output sits under ``guard_depth`` nested ``Match``
+    guards (think feature flags / sanity checks between communications):
+    local control flow the calculus executes as reduction steps.  Each
+    guard is one process-tree node — one heap event on the seed
+    scheduler, one O(1) worklist pop on the batched interpreter — so the
+    knob dials how much of the run is *substrate* (interpretation and
+    scheduling) versus middleware rendezvous.
+
+    Receivers are deployed before senders, so registrations land before
+    any message arrives under either interpreter — which is what makes
+    the delivered trace bit-identical between ``scheduler="heap"`` and
+    ``scheduler="runq"`` runs of the same seed.
+    """
+
+    if n_regions < 1:
+        raise ValueError("need at least one region")
+    if sources_per_region < 1:
+        raise ValueError("need at least one source per region")
+    if burst < 1:
+        raise ValueError("burst must be positive")
+    if guard_depth < 0:
+        raise ValueError("guard_depth must be non-negative")
+
+    x = var("x")
+    board = ch("board")
+    collector = pr("collector")
+    # the board lives in a dedicated "core" region hosting no senders,
+    # so every region's beacon — region 0's included — pays a timed
+    # cross-region link and no beacon ever races the zero-latency tier
+    core_region = n_regions
+    principal_region: dict[Principal, int] = {collector: core_region}
+    channel_region: dict[Channel, int] = {board: core_region}
+    cross_links = tuple(
+        LatencyModel(cross_base + r * region_spacing, cross_jitter)
+        for r in range(n_regions)
+    )
+
+    sources: list[Principal] = []
+    sinks: list[Principal] = []
+    reporters: list[Principal] = []
+    work_channels: list[Channel] = []
+    sink_components = []
+    sender_components = []
+    for r in range(n_regions):
+        sink = pr(f"snk_r{r}")
+        reporter = pr(f"rep_r{r}")
+        beacon = ch(f"beacon_r{r}")
+        sinks.append(sink)
+        reporters.append(reporter)
+        principal_region[sink] = r
+        principal_region[reporter] = r
+        sink_threads = []
+        for i in range(sources_per_region):
+            source = pr(f"src_r{r}_{i}")
+            work = ch(f"w_r{r}_{i}")
+            value = ch(f"v_r{r}_{i}")
+            sources.append(source)
+            work_channels.append(work)
+            principal_region[source] = r
+            channel_region[work] = r
+            sink_threads.extend(inp(work, x) for _ in range(burst))
+            thread = out(work, value)
+            for _ in range(guard_depth):
+                thread = match(value, value, then_branch=thread)
+            sender_components.append(
+                located(source, par(*(thread for _ in range(burst))))
+            )
+        sink_components.append(located(sink, par(*sink_threads)))
+        sender_components.append(
+            located(
+                reporter,
+                match(beacon, beacon, then_branch=out(board, beacon)),
+            )
+        )
+    collector_component = located(
+        collector, par(*(inp(board, x) for _ in range(n_regions)))
+    )
+
+    def topology(
+        sender: Optional[Principal], channel: Optional[Channel]
+    ) -> LatencyModel:
+        source_region = principal_region.get(sender, 0)
+        target_region = channel_region.get(channel, 0)
+        if source_region == target_region:
+            return ZERO_LATENCY
+        return cross_links[source_region]
+
+    return WideFanoutWorkload(
+        sys_par(*sink_components, collector_component, *sender_components),
+        n_regions,
+        sources_per_region,
+        burst,
+        guard_depth,
+        tuple(sources),
+        tuple(sinks),
+        tuple(reporters),
+        collector,
+        tuple(work_channels),
+        board,
+        topology,
     )
 
 

@@ -86,6 +86,140 @@ class TestSimulator:
         sim.schedule(0.0, forever)
         assert sim.run(max_events=10) == 10
 
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="psychic")
+
+
+@pytest.mark.parametrize("scheduler", ["runq", "heap"])
+class TestTwoTierScheduler:
+    """Both scheduler cores must execute the identical event order."""
+
+    def test_zero_delay_runs_before_timed(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        sim.schedule(1.0, lambda: order.append("timed"))
+        sim.schedule(0.0, lambda: order.append("now"))
+        sim.run()
+        assert order == ["now", "timed"]
+
+    def test_runq_merges_with_heap_in_sequence_order(self, scheduler):
+        # At t=2 the heap holds A (seq 1) and B (seq 2); A's callback
+        # schedules zero-delay C (seq 3).  Exact (time, sequence) order
+        # is A, B, C — a scheduler that drained its run queue eagerly
+        # would run C before B.
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        sim.schedule(2.0, lambda: (order.append("A"),
+                                   sim.schedule(0.0, lambda: order.append("C"))))
+        sim.schedule(2.0, lambda: order.append("B"))
+        sim.run()
+        assert order == ["A", "B", "C"]
+
+    def test_zero_delay_cascade_stays_fifo(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+
+        def spawn(label, children):
+            order.append(label)
+            for child in children:
+                sim.schedule(0.0, lambda c=child: order.append(c))
+
+        sim.schedule(0.0, lambda: spawn("root1", ["a", "b"]))
+        sim.schedule(0.0, lambda: spawn("root2", ["c"]))
+        sim.run()
+        assert order == ["root1", "root2", "a", "b", "c"]
+
+    def test_until_advances_clock_to_window_end(self, scheduler):
+        # Satellite fix: a windowed run must not leave a stale clock.
+        sim = Simulator(scheduler=scheduler)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        sim.run(until=7.0)
+        assert sim.now == 7.0  # event at 5 ran, clock carried to the window end
+        assert sim.pending == 0
+
+    def test_until_clock_stops_at_next_event_on_max_events(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run(until=10.0, max_events=1) == 1
+        # stopped by the guard with an event inside the window: the
+        # clock advances to min(until, next event), not past it
+        assert sim.now == 2.0
+
+    def test_windowed_runs_compose_like_one_run(self, scheduler):
+        def build():
+            sim = Simulator(seed=3, scheduler=scheduler)
+            seen = []
+
+            def ping(label):
+                seen.append((sim.now, label))
+                if len(seen) < 6:
+                    sim.schedule(sim.rng.random(), lambda: ping(label + 1))
+
+            sim.schedule(0.5, lambda: ping(0))
+            return sim, seen
+
+        full_sim, full = build()
+        full_sim.run()
+        windowed_sim, windowed = build()
+        t = 0.0
+        while windowed_sim.pending:
+            t += 0.4
+            windowed_sim.run(until=t)
+        assert windowed == full
+
+    def test_cancelled_events_do_not_leak(self, scheduler):
+        # Satellite fix: cancel() corpses must not accumulate.
+        sim = Simulator(scheduler=scheduler)
+        live = sim.schedule(1.0, lambda: None)
+        corpses = [
+            sim.schedule(1.0, lambda: None) for _ in range(1000)
+        ]
+        for event in corpses:
+            sim.cancel(event)
+        assert sim.pending == 1
+        assert len(sim._queue) + len(sim._runq) <= 3
+        sim.cancel(live)
+        assert sim.pending == 0
+        assert sim.run() == 0
+
+    def test_cancelled_zero_delay_events_compact(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        corpses = [sim.schedule(0.0, lambda: None) for _ in range(1000)]
+        keeper = sim.schedule(0.0, lambda: None)
+        for event in corpses:
+            sim.cancel(event)
+        assert sim.pending == 1
+        assert len(sim._queue) + len(sim._runq) <= 3
+        assert sim.run() == 1
+
+    def test_double_cancel_is_idempotent(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        event = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending == 1
+        assert sim.run() == 1
+
+    def test_cancel_after_execution_is_a_no_op(self, scheduler):
+        # the classic schedule-timeout-then-cancel pattern: cancelling
+        # an event that already ran must not corrupt the live count
+        for delay in (0.0, 1.0):
+            sim = Simulator(scheduler=scheduler)
+            event = sim.schedule(delay, lambda: None)
+            assert sim.run() == 1
+            sim.cancel(event)
+            assert sim.pending == 0
+            sim.schedule(1.0, lambda: None)
+            assert sim.pending == 1
+            assert sim.run() == 1
+
 
 class TestWire:
     def test_value_round_trip(self):
@@ -392,6 +526,232 @@ class TestIncrementalVetting:
             "any", "a!any"
         }
         assert runtime.metrics.deliveries == 1
+
+
+class TestNetworkAccounting:
+    def test_in_flight_returns_to_zero_after_run(self):
+        runtime = DistributedRuntime(seed=3)
+        runtime.deploy(parse_system("a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]"))
+        runtime.run()
+        assert runtime.network.messages_in_flight == 0
+
+    def test_in_flight_balanced_when_callback_raises(self):
+        # Satellite fix: the decrement must survive a raising callback.
+        from repro.runtime import Network, Simulator
+
+        sim = Simulator()
+        network = Network(sim, LatencyModel(1.0, 0.0))
+
+        def explode():
+            raise RuntimeError("hostile payload")
+
+        network.deliver(explode)
+        network.deliver(lambda: None)
+        assert network.messages_in_flight == 2
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert network.messages_in_flight == 1
+        sim.run()
+        assert network.messages_in_flight == 0
+
+    def test_topology_routes_per_link(self):
+        from repro.runtime import Network, Simulator, ZERO_LATENCY
+
+        fast, slow = ZERO_LATENCY, LatencyModel(9.0, 0.0)
+        network = Network(
+            Simulator(),
+            topology=lambda sender, channel: slow if sender == B else fast,
+        )
+        assert network.latency_for(A, M) is fast
+        assert network.latency_for(B, M) is slow
+
+    def test_zero_latency_link_draws_no_jitter(self):
+        from repro.runtime import ZERO_LATENCY
+
+        class Forbidden:
+            def random(self):  # pragma: no cover - must not be called
+                raise AssertionError("zero link sampled the generator")
+
+        assert ZERO_LATENCY.sample(Forbidden()) == 0.0
+
+
+@pytest.mark.parametrize("scheduler", ["runq", "heap"])
+class TestNodeThreadAccounting:
+    """threads_spawned / blocked_threads across both interpreters."""
+
+    def _runtime(self, scheduler, source, **kwargs):
+        runtime = DistributedRuntime(seed=2, scheduler=scheduler, **kwargs)
+        runtime.deploy(parse_system(source))
+        runtime.run()
+        return runtime
+
+    def test_input_sum_branch_firing(self, scheduler):
+        runtime = self._runtime(
+            scheduler, "a[m<v>] || b[(m(any as x).k<x> + m(eps as y).0)]"
+        )
+        node = runtime.nodes[pr("b")]
+        # the sum registers once (blocked), fires once (unblocked), and
+        # interprets: the sum itself, plus the fired continuation k<x>
+        assert node.blocked_threads == 0
+        assert node.threads_spawned == 2
+        assert runtime.metrics.deliveries == 1
+
+    def test_unfired_input_stays_blocked(self, scheduler):
+        runtime = self._runtime(scheduler, "b[m(eps as y).0]")
+        node = runtime.nodes[pr("b")]
+        assert node.blocked_threads == 1
+        assert node.threads_spawned == 1
+
+    def test_replication_budget_unfolding(self, scheduler):
+        runtime = self._runtime(
+            scheduler, "a[*(m<v>)]", replication_budget=5
+        )
+        node = runtime.nodes[pr("a")]
+        # the replication node plus five unfolded copies
+        assert node.threads_spawned == 6
+        assert runtime.metrics.messages_sent == 5
+
+    def test_parallel_counts_every_part(self, scheduler):
+        # the top-level par is normalized into three deploy components;
+        # the match continuation is the only dynamically spawned thread
+        runtime = self._runtime(scheduler, "a[(m<v> | n<v> | if v = v then k<v> else 0)]")
+        node = runtime.nodes[pr("a")]
+        assert node.threads_spawned == 4
+        assert runtime.metrics.messages_sent == 3
+
+    def test_continuation_parallel_counts_every_part(self, scheduler):
+        # a par *inside* a fired continuation is interpreted by the node:
+        # the input, the fired par, and its two parts
+        runtime = self._runtime(scheduler, "a[m<v>] || b[m(x).(k<x> | n<x>)]")
+        node = runtime.nodes[pr("b")]
+        assert node.threads_spawned == 4
+        assert runtime.metrics.messages_sent == 3
+
+    def test_counts_identical_across_schedulers(self, scheduler):
+        # the parametrized runs land on the same totals as this pinned
+        # reference, so heap and runq interpreters count identically
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(2, 3, burst=2, guard_depth=2)
+        runtime = DistributedRuntime(
+            seed=5, scheduler=scheduler, topology=workload.topology
+        )
+        runtime.deploy(workload.system)
+        runtime.run()
+        assert runtime.metrics.deliveries == workload.expected_deliveries
+        assert runtime.threads_spawned() == 68
+        assert runtime.blocked_threads() == 0
+
+
+class TestSchedulerDifferential:
+    """The run-queue and heap substrates execute the same run."""
+
+    @staticmethod
+    def _trace(runtime):
+        return [
+            (r.time, r.principal, r.channel, r.values, r.branch_index)
+            for r in runtime.metrics.delivered
+        ]
+
+    def test_fan_in_fan_out_identical_under_jitter(self):
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(12, n_relays=9)
+        runs = {}
+        for scheduler in ("runq", "heap"):
+            runtime = DistributedRuntime(seed=13, scheduler=scheduler)
+            runtime.deploy(workload.system)
+            runtime.run()
+            runs[scheduler] = (
+                self._trace(runtime),
+                runtime.metrics.summary(),
+                runtime.threads_spawned(),
+            )
+        assert runs["runq"] == runs["heap"]
+
+    def test_wide_fanout_identical(self):
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(3, 5, burst=2, guard_depth=3)
+        runs = {}
+        for scheduler in ("runq", "heap"):
+            runtime = DistributedRuntime(
+                seed=17, scheduler=scheduler, topology=workload.topology
+            )
+            runtime.deploy(workload.system)
+            runtime.run()
+            assert runtime.network.messages_in_flight == 0
+            runs[scheduler] = (self._trace(runtime), runtime.metrics.summary())
+        assert runs["runq"] == runs["heap"]
+
+    def test_batched_deploy_uses_fewer_scheduler_events(self):
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(2, 10, burst=4, guard_depth=4)
+        events = {}
+        for scheduler in ("runq", "heap"):
+            runtime = DistributedRuntime(
+                seed=5, scheduler=scheduler, topology=workload.topology
+            )
+            runtime.deploy(workload.system)
+            runtime.run()
+            events[scheduler] = runtime.simulator.events_processed
+        # the whole point: same run, far fewer scheduler events
+        assert events["runq"] * 4 < events["heap"]
+
+
+class TestBoundedMetrics:
+    def test_retention_caps_series_but_not_aggregates(self):
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(10)
+        summaries = {}
+        for retention in (None, 5):
+            runtime = DistributedRuntime(seed=9, metrics_retention=retention)
+            runtime.deploy(workload.system)
+            runtime.run()
+            summaries[retention] = runtime.metrics.summary()
+            if retention is not None:
+                assert len(runtime.metrics.delivered) == retention
+                assert len(runtime.metrics.delivery_latencies) == retention
+                assert len(runtime.metrics.provenance_spine_lengths) == retention
+        assert summaries[None] == summaries[5]
+
+    def test_retain_zero_still_counts_everything(self):
+        runtime = DistributedRuntime(seed=3, metrics_retention=0)
+        runtime.deploy(parse_system("a[m<v>] || s[m(x).n1<x>] || c[n1(x).0]"))
+        runtime.run()
+        metrics = runtime.metrics
+        assert metrics.deliveries == 2
+        assert len(metrics.delivered) == 0
+        assert metrics.summary()["max_provenance_spine"] == 4
+        assert metrics.aggregates()["retained_deliveries"] == 0
+        assert metrics.aggregates()["max_delivery_latency"] > 0.0
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedRuntime(metrics_retention=-1)
+
+    def test_retained_and_streaming_paths_report_identically(self):
+        # record_delivery fuses the series appends into one pass; this
+        # pins it to record_delivery_streaming so the two cannot drift
+        from repro.workloads import fan_in_fan_out
+
+        workload = fan_in_fan_out(6)
+        reports = {}
+        for retention in (None, 0):
+            runtime = DistributedRuntime(seed=21, metrics_retention=retention)
+            runtime.deploy(workload.system)
+            runtime.run()
+            reports[retention] = (
+                runtime.metrics.summary(),
+                {
+                    key: value
+                    for key, value in runtime.metrics.aggregates().items()
+                    if key != "retained_deliveries"
+                },
+            )
+        assert reports[None] == reports[0]
 
 
 class TestLazyByteAccounting:

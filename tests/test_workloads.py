@@ -242,3 +242,73 @@ class TestVettedRelayChain:
 
         with pytest.raises(ValueError):
             vetted_relay_chain(-1)
+
+
+class TestWideFanout:
+    def test_shape_and_expected_counts(self):
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(3, 4, burst=2, guard_depth=1)
+        assert workload.principal_count == 3 * (4 + 2) + 1
+        assert len(workload.sources) == 12
+        assert len(workload.work_channels) == 12
+        # 3 regions x 4 sources x burst 2, plus one beacon per region
+        assert workload.expected_messages == 27
+        assert workload.expected_deliveries == 27
+        assert system_free_variables(workload.system) == frozenset()
+        assert workload.system == wide_fanout(3, 4, burst=2, guard_depth=1).system
+
+    def test_topology_is_free_within_a_region_and_timed_across(self):
+        from repro.runtime import ZERO_LATENCY
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(3, 2, cross_base=4.0, region_spacing=1.0)
+        source_r0 = workload.sources[0]
+        source_r2 = workload.sources[-1]
+        local = workload.work_channels[0]
+        assert workload.topology(source_r0, local) is ZERO_LATENCY
+        # every beacon pays its region's cross link, region 0 included
+        for region, reporter in enumerate(workload.reporters):
+            model = workload.topology(reporter, workload.board)
+            assert model.base == 4.0 + region
+        assert workload.topology(source_r2, local).base >= 4.0
+
+    def test_deployed_run_delivers_everything(self):
+        from repro.runtime import DistributedRuntime
+        from repro.workloads import wide_fanout
+
+        workload = wide_fanout(3, 4, burst=2, guard_depth=2, cross_base=4.0)
+        runtime = DistributedRuntime(seed=11, topology=workload.topology)
+        runtime.deploy(workload.system)
+        runtime.run()
+        assert runtime.metrics.deliveries == workload.expected_deliveries
+        assert runtime.blocked_threads() == 0
+        assert runtime.network.messages_in_flight == 0
+        # local bursts land at t=0; beacons pay their cross-region link
+        beacon_times = [
+            record.time
+            for record in runtime.metrics.delivered
+            if record.channel == workload.board
+        ]
+        assert len(beacon_times) == 3
+        assert min(beacon_times) >= 4.0
+        local_times = [
+            record.time
+            for record in runtime.metrics.delivered
+            if record.channel != workload.board
+        ]
+        assert set(local_times) == {0.0}
+
+    def test_parameter_validation(self):
+        import pytest
+
+        from repro.workloads import wide_fanout
+
+        for bad in (
+            dict(n_regions=0, sources_per_region=1),
+            dict(n_regions=1, sources_per_region=0),
+            dict(n_regions=1, sources_per_region=1, burst=0),
+            dict(n_regions=1, sources_per_region=1, guard_depth=-1),
+        ):
+            with pytest.raises(ValueError):
+                wide_fanout(**bad)
