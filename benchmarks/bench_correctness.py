@@ -34,7 +34,7 @@ from repro.monitor import (
 from repro.monitor.monitored import MonitoredEngine
 from repro.workloads import relay_chain
 
-from conftest import record_row
+from conftest import record_row, write_snapshot
 
 HOPS = [2, 6, 12, 24]
 
@@ -231,6 +231,19 @@ def main(argv=None) -> int:
             print(f"FAIL: wall-clock speedup below the {wall_floor}x floor")
             return 1
     print("reports identical; correctness holds at every state")
+    write_snapshot(
+        "E11-online-correctness",
+        {
+            "hops": arguments.hops,
+            "states": n_states,
+            "batch_ms": round(batch_seconds * 1000, 1),
+            "online_ms": round(online_seconds * 1000, 1),
+            "batch_searches": batch_queries,
+            "online_searches": online_queries,
+            "wall_speedup": round(speedup, 1),
+            "search_ratio": round(query_ratio, 1),
+        },
+    )
     return 0
 
 

@@ -29,7 +29,7 @@ import pytest
 from repro.runtime import DistributedRuntime
 from repro.workloads import vetted_relay_chain
 
-from conftest import record_row
+from conftest import record_row, write_snapshot
 
 HOPS = [32, 128, 512]
 
@@ -218,6 +218,18 @@ def main(argv=None) -> int:
             print(f"FAIL: wall-clock speedup below the {wall_floor}x floor")
             return 1
     print("runs identical under both vetting paths")
+    write_snapshot(
+        "E18-incremental-vetting",
+        {
+            "hops": arguments.hops,
+            "bank_transitions": bank_t,
+            "nfa_transitions": nfa_t,
+            "bank_ms": round(bank_s * 1000, 1),
+            "nfa_ms": round(nfa_s * 1000, 1),
+            "work_ratio": round(work_ratio, 1),
+            "wall_speedup": round(wall_speedup, 1),
+        },
+    )
     run_s, settle_s, total = run_lazy_bytes_row(arguments.hops, repeats)
     print(
         f"lazy byte accounting: run={run_s * 1000:.1f}ms with zero encodes; "

@@ -360,6 +360,17 @@ def main(argv=None) -> int:
         f"\nlifecycle speedup at n={max(lifecycle_sizes)}: {worst:.1f}x; "
         f"v1/v2 byte ratio {first_ratio:.2f}x -> {last_ratio:.2f}x"
     )
+    from conftest import write_snapshot
+
+    write_snapshot(
+        "E17-provenance-sharing",
+        {
+            "lifecycle_n": max(lifecycle_sizes),
+            "lifecycle_speedup": round(worst, 1),
+            "wire_ratio_first": round(first_ratio, 2),
+            "wire_ratio_last": round(last_ratio, 2),
+        },
+    )
     return 0
 
 

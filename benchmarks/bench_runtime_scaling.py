@@ -42,7 +42,7 @@ import pytest
 from repro.runtime import DistributedRuntime
 from repro.workloads import wide_fanout
 
-from conftest import record_row
+from conftest import record_row, write_snapshot
 
 SIZES = [(4, 50), (8, 150), (16, 400)]
 """(regions, sources per region) for the timing sweep."""
@@ -250,6 +250,18 @@ def main(argv=None) -> int:
         print(f"FAIL: below the {GATE_MIN_SPEEDUP}x substrate gate")
         return 1
     print(f"two-tier scheduler clears the {GATE_MIN_SPEEDUP:.0f}x gate")
+    write_snapshot(
+        "E19-substrate-scaling",
+        {
+            "regions": regions,
+            "sources": sources,
+            "messages": messages,
+            "heap_ms": round(heap_s * 1000, 1),
+            "runq_ms": round(runq_s * 1000, 1),
+            "speedup": round(speedup, 1),
+            "differential_deliveries": deliveries,
+        },
+    )
     return 0
 
 

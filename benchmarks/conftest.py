@@ -11,9 +11,31 @@ everything EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
+from pathlib import Path
 
 _ROWS: dict[str, list[str]] = defaultdict(list)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_snapshot(experiment: str, payload: dict) -> Path:
+    """Persist one experiment's headline numbers as ``BENCH_<id>.json``.
+
+    The gated benchmarks (E11/E17/E18/E19/E20) call this from their CI
+    ``main(--smoke)`` entry points, so every green run leaves a
+    perf-trajectory snapshot at the repo root — the ROADMAP's
+    regression-tracking bookkeeping.  Snapshots are plain flat JSON so
+    diffing two commits' numbers is ``diff``, not tooling.
+    """
+
+    path = _REPO_ROOT / f"BENCH_{experiment}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def record_row(experiment: str, row: str) -> None:

@@ -11,6 +11,7 @@ from repro.analysis.audit import (
     matching_suffixes,
     transfers,
 )
+from repro.analysis.lint import LintFinding, LintReport, lint_system
 from repro.analysis.privacy import Disclosure, DisclosurePolicy
 from repro.analysis.static_flow import (
     AbsProv,
@@ -18,6 +19,7 @@ from repro.analysis.static_flow import (
     FlowAnalysis,
     FlowReport,
     SiteVerdict,
+    StaticCertificate,
     Verdict,
     abstract_provenance,
     analyse_flow,

@@ -1,0 +1,280 @@
+"""Static policy linter: language-level sanity checks on Table 3 policies.
+
+Dynamic vetting tells you *that* a value was refused; it cannot tell you
+that a policy could never have accepted anything, or that one branch of
+an input sum is unreachable because an earlier branch admits everything
+it does.  Those are language questions, and the pattern algebra
+(:mod:`repro.patterns.algebra`) decides them exactly; this module walks
+a system's input sums and reports:
+
+* ``unsatisfiable-pattern`` (error) — ``⟦π⟧ = ∅``: the guarded branch
+  can never fire;
+* ``shadowed-branch`` (error) — an earlier same-arity branch includes a
+  later one position-wise, so in-order branch scanning (the runtime's
+  delivery rule) makes the later branch dead code;
+* ``overlapping-branches`` (warning) — two branches admit a common
+  value tuple, so which fires depends on branch order: legal, but worth
+  an explicit reading;
+* ``vacuous-guard`` (warning) — a pattern that is universal over the
+  system's principal universe without being written ``any``: the check
+  costs vetting work and excludes nothing;
+* ``algebra-budget`` (warning) — a decision blew the product-state
+  budget and was skipped (policies this large deserve a second look
+  anyway).
+
+The principal universe defaults to the closed system's own principals
+(:func:`repro.core.system.system_principals`), matching the paper's
+closed-world reading; pass ``principals`` to widen it.
+
+Surface via ``repro lint`` (see :mod:`repro.cli`), which bundles these
+findings with the flow analysis' verdict summary into one JSON report
+and exits nonzero on errors — the static gate CI runs over the example
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.congruence import normalize
+from repro.core.names import Principal
+from repro.core.patterns import MatchAll, MatchNone, Pattern
+from repro.core.process import (
+    InputSum,
+    Match,
+    Parallel,
+    Process,
+    Replication,
+    Restriction,
+)
+from repro.core.system import Located, System, system_principals
+from repro.core.values import AnnotatedValue
+from repro.patterns.algebra import AlgebraBudgetError, PatternAlgebra
+from repro.patterns.ast import AnyPattern, SamplePattern
+
+__all__ = ["LintFinding", "LintReport", "lint_system"]
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One diagnostic, anchored to an input site."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    principal: str
+    channel: str
+    branch_index: int
+    pattern: str
+    message: str
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "principal": self.principal,
+            "channel": self.channel,
+            "branch_index": self.branch_index,
+            "pattern": self.pattern,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class LintReport:
+    """All findings over one system."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
+
+
+def lint_system(
+    system: System,
+    principals: Optional[Iterable[Principal]] = None,
+    algebra: Optional[PatternAlgebra] = None,
+) -> LintReport:
+    """Lint every input sum of a closed system."""
+
+    if algebra is None:
+        universe = (
+            frozenset(principals)
+            if principals is not None
+            else system_principals(system)
+        )
+        algebra = PatternAlgebra(principals=universe or None)
+    linter = _Linter(algebra)
+    for component in normalize(system).components:
+        if isinstance(component, Located):
+            linter.visit(component.principal, component.process)
+    return linter.report
+
+
+class _Linter:
+    def __init__(self, algebra: PatternAlgebra) -> None:
+        self.algebra = algebra
+        self.report = LintReport()
+        self._emitted: set[tuple] = set()
+
+    # -- traversal --------------------------------------------------------
+
+    def visit(self, principal: Principal, process: Process) -> None:
+        if isinstance(process, InputSum):
+            self._lint_input(principal, process)
+            for branch in process.branches:
+                self.visit(principal, branch.continuation)
+        elif isinstance(process, Parallel):
+            for part in process.parts:
+                self.visit(principal, part)
+        elif isinstance(process, (Replication, Restriction)):
+            self.visit(principal, process.body)
+        elif isinstance(process, Match):
+            self.visit(principal, process.then_branch)
+            self.visit(principal, process.else_branch)
+        # Output is asynchronous (no continuation); Inaction is a leaf
+
+    # -- checks -----------------------------------------------------------
+
+    def _emit(
+        self,
+        code: str,
+        severity: str,
+        principal: Principal,
+        channel: str,
+        branch_index: int,
+        pattern: str,
+        message: str,
+    ) -> None:
+        key = (code, principal.name, channel, branch_index, pattern)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.report.findings.append(
+            LintFinding(
+                code, severity, principal.name, channel,
+                branch_index, pattern, message,
+            )
+        )
+
+    @staticmethod
+    def _decidable(pattern: Pattern) -> bool:
+        return isinstance(pattern, (SamplePattern, MatchAll, MatchNone))
+
+    def _lint_input(self, principal: Principal, process: InputSum) -> None:
+        identifier = process.channel
+        if isinstance(identifier, AnnotatedValue):
+            channel = str(identifier.value)
+        else:
+            channel = str(identifier)
+        alg = self.algebra
+        satisfiable: dict[int, bool] = {}
+        for index, branch in enumerate(process.branches):
+            all_decidable = all(self._decidable(p) for p in branch.patterns)
+            if not all_decidable:
+                satisfiable[index] = True  # foreign pattern: assume live
+                continue
+            branch_ok = True
+            for pattern in branch.patterns:
+                try:
+                    if alg.is_empty(pattern):
+                        branch_ok = False
+                        self._emit(
+                            "unsatisfiable-pattern", "error", principal,
+                            channel, index, str(pattern),
+                            f"pattern {pattern} matches no provenance; "
+                            f"the branch can never fire",
+                        )
+                    elif not isinstance(
+                        pattern, (AnyPattern, MatchAll)
+                    ) and alg.is_universal(pattern):
+                        self._emit(
+                            "vacuous-guard", "warning", principal,
+                            channel, index, str(pattern),
+                            f"pattern {pattern} admits every provenance "
+                            f"over the declared principals; write `any` "
+                            f"or tighten the guard",
+                        )
+                except AlgebraBudgetError:
+                    self._emit(
+                        "algebra-budget", "warning", principal,
+                        channel, index, str(pattern),
+                        f"pattern {pattern} is too large to decide under "
+                        f"the product-state budget; checks skipped",
+                    )
+            satisfiable[index] = branch_ok
+        self._lint_branch_pairs(principal, process, channel, satisfiable)
+
+    def _lint_branch_pairs(
+        self,
+        principal: Principal,
+        process: InputSum,
+        channel: str,
+        satisfiable: dict[int, bool],
+    ) -> None:
+        """Shadowing and overlap between same-arity branch pairs.
+
+        A branch's tuple language is the product of its component
+        languages, so (with unsatisfiable components already excluded)
+        position-wise inclusion/overlap decides the pair exactly.
+        """
+
+        alg = self.algebra
+        branches = process.branches
+        for later in range(1, len(branches)):
+            if not satisfiable.get(later, True):
+                continue
+            later_branch = branches[later]
+            if not all(self._decidable(p) for p in later_branch.patterns):
+                continue
+            rendering = ", ".join(str(p) for p in later_branch.patterns)
+            for earlier in range(later):
+                if not satisfiable.get(earlier, True):
+                    continue
+                earlier_branch = branches[earlier]
+                if earlier_branch.arity != later_branch.arity:
+                    continue
+                if not all(
+                    self._decidable(p) for p in earlier_branch.patterns
+                ):
+                    continue
+                pairs = list(
+                    zip(earlier_branch.patterns, later_branch.patterns)
+                )
+                try:
+                    if all(alg.includes(e, l) for e, l in pairs):
+                        self._emit(
+                            "shadowed-branch", "error", principal, channel,
+                            later, rendering,
+                            f"branch #{later} is subsumed by branch "
+                            f"#{earlier}: every tuple it admits is "
+                            f"admitted earlier, so it never fires",
+                        )
+                        break  # one shadow finding per branch suffices
+                    if all(not alg.disjoint(e, l) for e, l in pairs):
+                        self._emit(
+                            "overlapping-branches", "warning", principal,
+                            channel, later, rendering,
+                            f"branches #{earlier} and #{later} admit a "
+                            f"common tuple; delivery depends on branch "
+                            f"order",
+                        )
+                except AlgebraBudgetError:
+                    self._emit(
+                        "algebra-budget", "warning", principal, channel,
+                        later, rendering,
+                        "branch comparison exceeded the product-state "
+                        "budget; shadowing not decided",
+                    )

@@ -18,7 +18,18 @@ matches their expectations".  This module is that analysis:
   accumulate abstract payload tuples in per-channel stores (monotonically),
   inputs fork continuations for every arriving tuple a branch might admit,
   replication bodies are interpreted once (the stores make re-execution
-  redundant).
+  redundant).  Stores are interned and *widened* per channel: past
+  ``widen_threshold`` distinct tuples, new posts have their provenance
+  re-truncated to ``widen_k`` spine events (and, past twice the
+  threshold, their plain value forgotten), trading precision for
+  guaranteed convergence on large systems.  Widened channels are
+  recorded on the report — their REDUNDANT verdicts usually degrade to
+  NEEDED, never to an unsound answer.
+
+The report can mint a :class:`StaticCertificate` — the per-site verdicts
+plus the parameters they are sound under — which the runtime middleware
+consumes to elide vetting on fully-redundant channels and prune dead
+branches (see :mod:`repro.runtime.middleware`).
 
 Per input branch, the analysis reports a :class:`Verdict`:
 
@@ -71,6 +82,7 @@ __all__ = [
     "SiteReport",
     "FlowReport",
     "FlowAnalysis",
+    "StaticCertificate",
     "analyse_flow",
 ]
 
@@ -175,18 +187,32 @@ def _combine(verdicts: list[Verdict]) -> Verdict:
     return Verdict.MAYBE
 
 
+_CACHE_LIMIT = 256
 _compiled_cache: dict[SamplePattern, NFA] = {}
+"""Bounded fallback cache for ad-hoc :func:`match3` calls; analyses own
+a per-run cache instead (see :class:`FlowAnalysis`), so repeated runs
+never accumulate compiled NFAs here."""
 
 
-def _compiled(pattern: SamplePattern) -> NFA:
-    nfa = _compiled_cache.get(pattern)
+def _compiled(
+    pattern: SamplePattern, cache: Optional[dict[SamplePattern, NFA]] = None
+) -> NFA:
+    if cache is None:
+        cache = _compiled_cache
+        if len(cache) >= _CACHE_LIMIT:
+            cache.clear()
+    nfa = cache.get(pattern)
     if nfa is None:
         nfa = compile_pattern(pattern)
-        _compiled_cache[pattern] = nfa
+        cache[pattern] = nfa
     return nfa
 
 
-def match3(prov: AbsProv, pattern: Pattern) -> Verdict:
+def match3(
+    prov: AbsProv,
+    pattern: Pattern,
+    cache: Optional[dict[SamplePattern, NFA]] = None,
+) -> Verdict:
     """Conservative ``κ̂ ⊨ π``."""
 
     if isinstance(pattern, MatchAll):
@@ -198,7 +224,7 @@ def match3(prov: AbsProv, pattern: Pattern) -> Verdict:
     if not isinstance(pattern, SamplePattern):
         raise AnalysisError(f"cannot statically analyse pattern {pattern!r}")
 
-    nfa = _compiled(pattern)
+    nfa = _compiled(pattern, cache)
     certain = nfa.epsilon_closure(frozenset((nfa.start,)))
     possible = certain
     for event in prov.events:
@@ -208,7 +234,7 @@ def match3(prov: AbsProv, pattern: Pattern) -> Verdict:
             for test, target in nfa.edges[state]:
                 if test is None:
                     continue
-                verdict = _edge3(test, event)
+                verdict = _edge3(test, event, cache)
                 if verdict is Verdict.NO:
                     continue
                 next_possible.add(target)
@@ -231,7 +257,11 @@ def match3(prov: AbsProv, pattern: Pattern) -> Verdict:
     return Verdict.NO
 
 
-def _edge3(test, event: AbsEvent) -> Verdict:
+def _edge3(
+    test,
+    event: AbsEvent,
+    cache: Optional[dict[SamplePattern, NFA]] = None,
+) -> Verdict:
     if test == "wild":
         return Verdict.YES
     assert isinstance(test, EventPattern)
@@ -239,7 +269,7 @@ def _edge3(test, event: AbsEvent) -> Verdict:
         return Verdict.NO
     if not test.group.contains(event.principal):
         return Verdict.NO
-    return match3(event.channel, test.channel_pattern)
+    return match3(event.channel, test.channel_pattern, cache)
 
 
 def _can_reach_accept(nfa: NFA, states: frozenset[int]) -> bool:
@@ -302,6 +332,65 @@ class SiteReport:
         return SiteVerdict.NEEDED
 
 
+_SiteId = tuple[str, str, int, str]
+"""``(principal, channel, branch_index, patterns)`` — the stringly-typed
+site identity the runtime can reconstruct from its own receive branches."""
+
+
+@dataclass(frozen=True, slots=True)
+class StaticCertificate:
+    """Portable verdicts plus the parameters they are sound under.
+
+    The certificate is only meaningful for the *analyzed closed system*:
+    the middleware must revoke it the moment any unanalyzed input is
+    accepted (e.g. a raw network injection).  An incomplete analysis
+    under-approximates arrival sets, so an ``complete=False``
+    certificate authorizes nothing — every :meth:`branch_action` is
+    ``"vet"``.
+    """
+
+    k: int
+    nesting: int
+    complete: bool
+    widened_channels: frozenset[str]
+    redundant_sites: frozenset[_SiteId]
+    dead_sites: frozenset[_SiteId]
+    elidable_channels: frozenset[str]
+
+    def branch_action(
+        self,
+        principal: str,
+        channel: str,
+        branch_index: int,
+        patterns: str,
+    ) -> str:
+        """``"elide"`` / ``"prune"`` / ``"vet"`` for one receive branch.
+
+        Unknown sites — restricted channels get fresh runtime names the
+        analysis never saw — fall through to ``"vet"``, the safe default.
+        """
+
+        if not self.complete:
+            return "vet"
+        site = (principal, channel, branch_index, patterns)
+        if site in self.dead_sites:
+            return "prune"
+        if channel in self.elidable_channels and site in self.redundant_sites:
+            return "elide"
+        return "vet"
+
+    def to_json(self) -> dict:
+        return {
+            "k": self.k,
+            "nesting": self.nesting,
+            "complete": self.complete,
+            "widened_channels": sorted(self.widened_channels),
+            "redundant_sites": sorted(map(list, self.redundant_sites)),
+            "dead_sites": sorted(map(list, self.dead_sites)),
+            "elidable_channels": sorted(self.elidable_channels),
+        }
+
+
 @dataclass(slots=True)
 class FlowReport:
     """Outcome of the analysis over a whole system."""
@@ -309,6 +398,9 @@ class FlowReport:
     sites: dict[SiteKey, SiteReport] = field(default_factory=dict)
     complete: bool = True
     configs_explored: int = 0
+    k: int = 4
+    nesting: int = 2
+    widened_channels: set[str] = field(default_factory=set)
 
     def by_verdict(self, verdict: SiteVerdict) -> list[SiteReport]:
         return [site for site in self.sites.values() if site.verdict is verdict]
@@ -334,6 +426,60 @@ class FlowReport:
             "configs": self.configs_explored,
         }
 
+    def principal_summary(self) -> dict[str, dict[str, int]]:
+        """Per-principal verdict counts, e.g. for the lint report."""
+
+        out: dict[str, dict[str, int]] = {}
+        for site in self.sites.values():
+            counts = out.setdefault(
+                site.key.principal.name,
+                {"redundant": 0, "dead": 0, "needed": 0},
+            )
+            counts[site.verdict.value] += 1
+        return out
+
+    def certificate(self) -> StaticCertificate:
+        """Mint the portable certificate this report justifies.
+
+        A channel is *elidable* when every input site listening on it is
+        REDUNDANT or DEAD with at least one REDUNDANT — then no vet on
+        the channel can ever reject, so the middleware may skip them
+        wholesale without perturbing message-to-branch routing.
+        """
+
+        def site_id(site: SiteReport) -> _SiteId:
+            key = site.key
+            return (
+                key.principal.name,
+                key.channel,
+                key.branch_index,
+                key.patterns,
+            )
+
+        by_channel: dict[str, list[SiteVerdict]] = {}
+        for site in self.sites.values():
+            by_channel.setdefault(site.key.channel, []).append(site.verdict)
+        elidable = frozenset(
+            channel
+            for channel, verdicts in by_channel.items()
+            if all(
+                v in (SiteVerdict.REDUNDANT, SiteVerdict.DEAD)
+                for v in verdicts
+            )
+            and any(v is SiteVerdict.REDUNDANT for v in verdicts)
+        )
+        return StaticCertificate(
+            k=self.k,
+            nesting=self.nesting,
+            complete=self.complete,
+            widened_channels=frozenset(self.widened_channels),
+            redundant_sites=frozenset(
+                site_id(s) for s in self.redundant
+            ),
+            dead_sites=frozenset(site_id(s) for s in self.dead),
+            elidable_channels=elidable,
+        )
+
 
 _Env = tuple[tuple[Variable, AbsValue], ...]
 
@@ -347,17 +493,31 @@ class FlowAnalysis:
         k: int = 4,
         nesting: int = 2,
         max_configs: int = 50_000,
+        widen_threshold: int = 256,
+        widen_k: int = 1,
     ) -> None:
         self.k = k
         self.nesting = nesting
         self.max_configs = max_configs
+        self.widen_threshold = widen_threshold
+        self.widen_k = widen_k
         self._nf = normalize(system)
         self._channels = self._collect_channels()
         self._store: dict[Channel, set[tuple[AbsValue, ...]]] = {}
         self._listeners: dict[Channel, list[tuple[Principal, InputSum, _Env]]] = {}
         self._queue: deque = deque()
         self._seen: set = set()
-        self.report = FlowReport()
+        # per-run compiled-NFA cache: dropped with the analysis, so
+        # repeated analyses never leak automata across runs
+        self._nfa_cache: dict[SamplePattern, NFA] = {}
+        # hash-consing for the abstract store: one canonical object per
+        # distinct value/tuple keeps env and store comparisons cheap
+        self._interned_values: dict[AbsValue, AbsValue] = {}
+        self._interned_tuples: dict[
+            tuple[AbsValue, ...], tuple[AbsValue, ...]
+        ] = {}
+        self._extend_memo: dict[tuple[AbsProv, AbsEvent], AbsProv] = {}
+        self.report = FlowReport(k=k, nesting=nesting)
 
     def _collect_channels(self) -> set[Channel]:
         channels: set[Channel] = set()
@@ -432,7 +592,9 @@ class FlowAnalysis:
 
     def _resolve(self, identifier: Identifier, env: _Env) -> AbsValue:
         if isinstance(identifier, Variable):
-            for variable, value in env:
+            # newest binding wins: a rebound variable must resolve to the
+            # innermost receive, exactly as substitution would
+            for variable, value in reversed(env):
                 if variable == identifier:
                     return value
             return AbsValue(None, UNKNOWN_PROV)
@@ -441,8 +603,54 @@ class FlowAnalysis:
             abstract_provenance(identifier.provenance, self.k, self.nesting),
         )
 
+    # -- store interning and widening ------------------------------------
+
+    def _intern(self, values: tuple[AbsValue, ...]) -> tuple[AbsValue, ...]:
+        cached = self._interned_tuples.get(values)
+        if cached is not None:
+            return cached
+        canonical = tuple(
+            self._interned_values.setdefault(value, value) for value in values
+        )
+        self._interned_tuples[values] = canonical
+        self._interned_tuples.setdefault(canonical, canonical)
+        return canonical
+
+    def _extend(self, prov: AbsProv, event: AbsEvent, k: int) -> AbsProv:
+        key = (prov, event)
+        extended = self._extend_memo.get(key)
+        if extended is None:
+            extended = extend(prov, event, k)
+            self._extend_memo[key] = extended
+        return extended
+
+    def _widen(
+        self, values: tuple[AbsValue, ...], forget_plain: bool
+    ) -> tuple[AbsValue, ...]:
+        """Coarsen a tuple so a saturating store converges.
+
+        Spines are re-truncated to ``widen_k`` (a sound
+        over-approximation: the cut suffix becomes "arbitrary"), and in
+        the second stage plain values are forgotten too.
+        """
+
+        widened = []
+        for value in values:
+            prov = value.prov
+            if len(prov.events) > self.widen_k:
+                prov = AbsProv(prov.events[: self.widen_k], truncated=True)
+            plain = None if forget_plain else value.plain
+            widened.append(AbsValue(plain, prov))
+        return tuple(widened)
+
     def _post(self, channel: Channel, values: tuple[AbsValue, ...]) -> None:
         store = self._store.setdefault(channel, set())
+        if len(store) >= self.widen_threshold:
+            values = self._widen(
+                values, forget_plain=len(store) >= 2 * self.widen_threshold
+            )
+            self.report.widened_channels.add(channel.name)
+        values = self._intern(values)
         if values in store:
             return
         store.add(values)
@@ -491,7 +699,7 @@ class FlowAnalysis:
         payload = tuple(self._resolve(w, env) for w in process.payload)
         event = AbsEvent("!", principal, subject.prov)
         stamped = tuple(
-            AbsValue(value.plain, extend(value.prov, event, self.k))
+            AbsValue(value.plain, self._extend(value.prov, event, self.k))
             for value in payload
         )
         if subject.plain is None:
@@ -547,7 +755,7 @@ class FlowAnalysis:
                 continue
             verdict = _combine(
                 [
-                    match3(value.prov, pattern)
+                    match3(value.prov, pattern, self._nfa_cache)
                     for value, pattern in zip(values, branch.patterns)
                 ]
             )
@@ -561,7 +769,7 @@ class FlowAnalysis:
                 site.maybe += 1
             event = AbsEvent("?", principal, subject.prov)
             received = tuple(
-                AbsValue(value.plain, extend(value.prov, event, self.k))
+                AbsValue(value.plain, self._extend(value.prov, event, self.k))
                 for value in values
             )
             extended_env = env + tuple(zip(branch.binders, received))
@@ -569,8 +777,20 @@ class FlowAnalysis:
 
 
 def analyse_flow(
-    system: System, k: int = 4, nesting: int = 2, max_configs: int = 50_000
+    system: System,
+    k: int = 4,
+    nesting: int = 2,
+    max_configs: int = 50_000,
+    widen_threshold: int = 256,
+    widen_k: int = 1,
 ) -> FlowReport:
     """Run the static analysis on a closed system (one-shot wrapper)."""
 
-    return FlowAnalysis(system, k=k, nesting=nesting, max_configs=max_configs).run()
+    return FlowAnalysis(
+        system,
+        k=k,
+        nesting=nesting,
+        max_configs=max_configs,
+        widen_threshold=widen_threshold,
+        widen_k=widen_k,
+    ).run()

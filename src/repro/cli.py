@@ -10,6 +10,7 @@ stdin when the path is ``-``)::
     python -m repro sim system.pi            # simulated cluster + metrics
     python -m repro sim system.pi --vetting nfa  # A/B the vetting path
     python -m repro analyse system.pi        # static flow verdicts
+    python -m repro lint system.pi           # static policy gate (+--json)
     python -m repro fmt system.pi            # parse and pretty-print
 
 The input syntax is the concrete syntax of `repro.lang` (see README);
@@ -143,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
     analyse_p.add_argument("--depth", type=int, default=4, dest="k")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static policy gate: algebra lint + flow verdicts + certificate",
+    )
+    common(lint_p)
+    lint_p.add_argument("--depth", type=int, default=4, dest="k")
+    lint_p.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    lint_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as findings (nonzero exit)",
+    )
 
     fmt_p = sub.add_parser("fmt", help="parse and pretty-print")
     common(fmt_p)
@@ -293,6 +309,59 @@ def main(argv: list[str] | None = None) -> int:
         for site in report.sites.values():
             print(f"  [{site.verdict.value:9s}] {site.key}")
         return 0
+
+    if args.command == "lint":
+        import json as _json
+
+        from repro.analysis.lint import lint_system
+        from repro.core.names import Principal
+        from repro.core.system import system_principals
+
+        universe = system_principals(system) | {
+            Principal(name) for name in args.principal
+        }
+        lint_report = lint_system(system, principals=universe)
+        flow_report = analyse_flow(system, k=args.k)
+        certificate = flow_report.certificate()
+        failed = bool(lint_report.errors) or (
+            args.strict and bool(lint_report.warnings)
+        )
+        if args.json:
+            payload = lint_report.to_json()
+            payload["flow"] = {
+                "summary": flow_report.summary(),
+                "complete": flow_report.complete,
+                "principals": flow_report.principal_summary(),
+                "sites": {
+                    str(site.key): site.verdict.value
+                    for site in flow_report.sites.values()
+                },
+            }
+            payload["certificate"] = certificate.to_json()
+            payload["ok"] = not failed
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for finding in lint_report.findings:
+                print(
+                    f"{finding.severity}: [{finding.code}] "
+                    f"{finding.principal}@{finding.channel}"
+                    f"#{finding.branch_index}: {finding.message}"
+                )
+            summary = flow_report.summary()
+            print(
+                f"lint: {len(lint_report.errors)} error(s), "
+                f"{len(lint_report.warnings)} warning(s); "
+                f"flow: {summary['redundant']} redundant, "
+                f"{summary['dead']} dead, {summary['needed']} needed "
+                f"across {summary['sites']} site(s)"
+                + ("" if flow_report.complete else " (incomplete)")
+            )
+            if certificate.elidable_channels:
+                print(
+                    "certificate elides vetting on: "
+                    + ", ".join(sorted(certificate.elidable_channels))
+                )
+        return 1 if failed else 0
 
     raise AssertionError("unreachable")
 

@@ -18,6 +18,11 @@ from repro.patterns.ast import (
     sent_by,
     seq,
 )
+from repro.patterns.algebra import (
+    AlgebraBudgetError,
+    PatternAlgebra,
+    default_algebra,
+)
 from repro.patterns.dfa import (
     LazyDFA,
     PolicyBank,

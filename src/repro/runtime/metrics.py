@@ -83,6 +83,15 @@ class RuntimeMetrics:
     vet_cache_hits: int = 0
     """Vet queries answered entirely from a cached spine run."""
 
+    vets_elided: int = 0
+    """Payload components admitted *without* a ``κ ⊨ π`` decision because
+    a :class:`~repro.analysis.static_flow.StaticCertificate` proved the
+    site REDUNDANT."""
+
+    branches_pruned: int = 0
+    """Receive branches registered but never scanned because the
+    certificate proved them DEAD."""
+
     forgeries_blocked: int = 0
     forgeries_accepted: int = 0
     provenance_spine_lengths: MutableSequence[int] = field(default_factory=list)
@@ -270,6 +279,8 @@ class RuntimeMetrics:
             "rejections_by_pattern": dict(self.rejections_by_pattern),
             "vet_transitions": self.vet_transitions,
             "vet_cache_hits": self.vet_cache_hits,
+            "vets_elided": self.vets_elided,
+            "branches_pruned": self.branches_pruned,
             "forgeries_blocked": self.forgeries_blocked,
             "forgeries_accepted": self.forgeries_accepted,
             "max_provenance_spine": self._max_provenance_spine,

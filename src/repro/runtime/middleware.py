@@ -97,6 +97,11 @@ class PendingReceive:
     branches: tuple[ReceiveBranch, ...]
     posted_at: float
     consumed: bool = False
+    actions: Optional[tuple[str, ...]] = None
+    """Per-branch certificate actions (``"elide"``/``"prune"``/``"vet"``),
+    or ``None`` when no certificate applies to this receiver.  Honored
+    only while the middleware still holds its certificate, so revocation
+    is immediate even for waiters registered before it."""
 
 
 @dataclass(slots=True)
@@ -201,6 +206,9 @@ class ChannelManager:
 
     def _try_deliver(self, waiter: PendingReceive) -> bool:
         middleware = self._middleware
+        actions = (
+            waiter.actions if middleware.certificate is not None else None
+        )
         bank = (
             self.policy_bank()
             if middleware.vetting == "bank" and self._has_sample
@@ -209,6 +217,11 @@ class ChannelManager:
         erased = middleware.mode is SemanticsMode.ERASED
         for message_index, stored in enumerate(self._messages):
             for branch_index, branch in enumerate(waiter.branches):
+                action = (
+                    actions[branch_index] if actions is not None else "vet"
+                )
+                if action == "prune":
+                    continue  # certified DEAD: can never admit anything
                 if branch.arity != len(stored.payload):
                     continue
                 if branch.trivial:
@@ -217,6 +230,11 @@ class ChannelManager:
                     # are left at zero — only the checks are counted
                     if not erased:
                         middleware.metrics.pattern_checks += branch.arity
+                elif action == "elide":
+                    # certified REDUNDANT on a fully-redundant channel:
+                    # the vet could only ever say yes, so skip it
+                    if not erased:
+                        middleware.metrics.vets_elided += branch.arity
                 elif not middleware.vet(branch.patterns, stored.payload, bank):
                     continue
                 del self._messages[message_index]
@@ -252,6 +270,7 @@ class Middleware:
         enforce_integrity: bool = True,
         wire_version: int = WIRE_V2,
         vetting: str = "bank",
+        certificate: Optional[object] = None,
     ) -> None:
         if wire_version not in (WIRE_V1, WIRE_V2):
             raise ValueError(f"unknown wire version {wire_version}")
@@ -264,6 +283,12 @@ class Middleware:
         self.enforce_integrity = enforce_integrity
         self.wire_version = wire_version
         self.vetting = vetting
+        self.certificate = certificate
+        """A :class:`~repro.analysis.static_flow.StaticCertificate` (any
+        object with ``branch_action``) authorizing check elision, or
+        ``None``.  Revoked (set to ``None``) the moment an unanalyzed
+        message enters the system, since its verdicts only cover the
+        analyzed closed system."""
         self.policy = PolicyEngine()
         self.nfa_matcher = NFAMatcher()
         self.supply = NameSupply()
@@ -441,11 +466,47 @@ class Middleware:
 
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot receive on non-channel {channel.value!r}")
+        actions = None
+        if self.certificate is not None:
+            actions = self._branch_actions(principal, channel.value, branches)
         pending = PendingReceive(
-            principal, channel.provenance, branches, self.simulator.now
+            principal,
+            channel.provenance,
+            branches,
+            self.simulator.now,
+            actions=actions,
         )
         self.manager(channel.value).register(pending)
         return pending
+
+    def _branch_actions(
+        self,
+        principal: Principal,
+        channel: Channel,
+        branches: tuple[ReceiveBranch, ...],
+    ) -> Optional[tuple[str, ...]]:
+        """Certificate actions for a receiver, ``None`` when all-vet.
+
+        Site identity mirrors the analysis'
+        :class:`~repro.analysis.static_flow.SiteKey` rendering; sites the
+        analysis never saw (restricted channels run under fresh names)
+        miss the lookup and fall back to vetting.
+        """
+
+        certificate = self.certificate
+        actions = []
+        interesting = False
+        for index, branch in enumerate(branches):
+            patterns = ", ".join(str(p) for p in branch.patterns)
+            action = certificate.branch_action(
+                principal.name, channel.name, index, patterns
+            )
+            if action != "vet":
+                interesting = True
+                if action == "prune":
+                    self.metrics.branches_pruned += 1
+            actions.append(action)
+        return tuple(actions) if interesting else None
 
     def inject_raw(
         self,
@@ -466,5 +527,9 @@ class Middleware:
             self.metrics.forgeries_blocked += 1
             return False
         self.metrics.forgeries_accepted += 1
+        # the injected message was never part of the analyzed system, so
+        # any static certificate no longer covers what can arrive —
+        # revoke before the post so this delivery is already fully vetted
+        self.certificate = None
         self.manager(channel).post(payload, self.simulator.now)
         return True

@@ -54,6 +54,7 @@ class DistributedRuntime:
         processing_delay: float = 0.0,
         wire_version: int = WIRE_V2,
         vetting: str = "bank",
+        certificate: Optional[object] = None,
         detailed_metrics: bool = True,
         scheduler: str = "runq",
         topology: Optional[Topology] = None,
@@ -73,6 +74,7 @@ class DistributedRuntime:
             enforce_integrity=enforce_integrity,
             wire_version=wire_version,
             vetting=vetting,
+            certificate=certificate,
         )
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay

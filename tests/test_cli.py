@@ -110,3 +110,58 @@ class TestSim:
         assert main(["sim", system_file, "--erased"]) == 0
         out = capsys.readouterr().out
         assert "pattern_checks = 0" in out
+
+
+class TestLint:
+    CLEAN = "a[m<v>] || b[m(a!any;any as x).0]"
+    SHADOWED = (
+        "c[m<v>] || a[m(any as x).keep<x> + m(c!any;any as y).keep2<y>]"
+        " || d[keep(any as z).0]"
+    )
+    VACUOUS = "c[m<v>] || a[m(any|a!any as x).0]"
+
+    def _write(self, tmp_path, source):
+        path = tmp_path / "lint.pi"
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_system_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", self._write(tmp_path, self.CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        assert "certificate elides vetting on: m" in out
+
+    def test_shadowed_branch_exits_nonzero(self, tmp_path, capsys):
+        assert main(["lint", self._write(tmp_path, self.SHADOWED)]) == 1
+        out = capsys.readouterr().out
+        assert "shadowed-branch" in out
+        assert "a@m#1" in out
+
+    def test_fixture_is_flagged(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "lint_subsumed.pi"
+        assert main(["lint", str(fixture)]) == 1
+        assert "shadowed-branch" in capsys.readouterr().out
+
+    def test_warnings_pass_without_strict(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.VACUOUS)
+        assert main(["lint", path]) == 0
+        assert main(["lint", path, "--strict"]) == 1
+
+    def test_json_payload_shape(self, tmp_path, capsys):
+        import json
+
+        assert main(["lint", self._write(tmp_path, self.CLEAN), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["flow"]["complete"] is True
+        assert payload["certificate"]["elidable_channels"] == ["m"]
+
+    def test_declared_principal_widens_the_universe(self, tmp_path, capsys):
+        source = "c[m<v>] || a[m(b!any;any as x).0]"
+        path = self._write(tmp_path, source)
+        assert main(["lint", path]) == 1
+        capsys.readouterr()
+        assert main(["lint", path, "--principal", "b"]) == 0

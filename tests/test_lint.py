@@ -1,0 +1,97 @@
+"""Tests for the static policy linter."""
+
+from repro.analysis.lint import lint_system
+from repro.core.builder import pr
+from repro.lang import parse_system
+
+
+def _codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestFindings:
+    def test_clean_system_has_no_findings(self):
+        system = parse_system("a[m<v>] || b[m(a!any;any as x).0]")
+        assert lint_system(system).findings == []
+
+    def test_shadowed_branch_is_an_error(self):
+        system = parse_system(
+            "c[m<v>] || a[m(any as x).keep<x> + m(c!any;any as y).keep2<y>]"
+        )
+        report = lint_system(system)
+        assert _codes(report) == ["shadowed-branch"]
+        finding = report.errors[0]
+        assert finding.principal == "a"
+        assert finding.channel == "m"
+        assert finding.branch_index == 1
+
+    def test_wider_later_branch_is_not_shadowed(self):
+        # the earlier branch is *narrower*, so the later one still fires
+        system = parse_system(
+            "c[m<v>] || a[m(c!any;any as x).0 + m(any as y).0]"
+        )
+        report = lint_system(system)
+        assert "shadowed-branch" not in _codes(report)
+
+    def test_unsatisfiable_pattern_is_an_error(self):
+        system = parse_system("c[m<v>] || a[m(none as x).0]")
+        report = lint_system(system)
+        assert _codes(report) == ["unsatisfiable-pattern"]
+        assert report.errors
+
+    def test_out_of_universe_group_is_unsatisfiable(self):
+        # b sends nothing and is not declared: closed-world emptiness
+        system = parse_system("c[m<v>] || a[m(b!any;any as x).0]")
+        assert _codes(lint_system(system)) == ["unsatisfiable-pattern"]
+        # widening the universe to include b makes the guard live
+        report = lint_system(system, principals=[pr("a"), pr("b"), pr("c")])
+        assert report.findings == []
+
+    def test_vacuous_guard_is_a_warning(self):
+        system = parse_system("c[m<v>] || a[m(any|a!any as x).0]")
+        report = lint_system(system)
+        assert _codes(report) == ["vacuous-guard"]
+        assert report.warnings and not report.errors
+
+    def test_plain_any_is_not_vacuous(self):
+        system = parse_system("c[m<v>] || a[m(any as x).0]")
+        assert lint_system(system).findings == []
+
+    def test_overlapping_branches_is_a_warning(self):
+        # both branches admit a value c sent then b relayed
+        system = parse_system(
+            "c[m<v>] || b[m(x).m<x>]"
+            " || a[m(any;c!any as x).0 + m(b!any;any as y).0]"
+        )
+        report = lint_system(system)
+        assert "overlapping-branches" in _codes(report)
+        assert not report.errors
+
+    def test_disjoint_branches_are_silent(self):
+        system = parse_system(
+            "c[m<v>] || d[m<w>]"
+            " || a[m(c!any;any as x).0 + m(d!any;any as y).0]"
+        )
+        assert lint_system(system).findings == []
+
+    def test_explicit_universe_overrides_system_principals(self):
+        system = parse_system("c[m<v>] || a[m(b!any;any as x).0]")
+        report = lint_system(system, principals=[pr("a"), pr("b"), pr("c")])
+        assert report.findings == []
+
+    def test_findings_deduplicated_across_duplicate_processes(self):
+        system = parse_system(
+            "c[m<v>] || a[m(none as x).0] || a[m(none as x).0]"
+        )
+        assert _codes(lint_system(system)) == ["unsatisfiable-pattern"]
+
+    def test_nested_input_sums_are_visited(self):
+        system = parse_system("c[m<v>] || a[m(x).m(none as y).0]")
+        assert _codes(lint_system(system)) == ["unsatisfiable-pattern"]
+
+    def test_report_json_shape(self):
+        system = parse_system("c[m<v>] || a[m(none as x).0]")
+        payload = lint_system(system).to_json()
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        assert payload["findings"][0]["code"] == "unsatisfiable-pattern"

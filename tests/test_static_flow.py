@@ -8,10 +8,14 @@ from repro.analysis.static_flow import (
     analyse_flow,
     match3,
 )
+from hypothesis import given, settings
+
 from repro.core.builder import pr
 from repro.core.patterns import MatchAll, MatchNone
 from repro.lang import parse_provenance, parse_system
+from repro.patterns.nfa import NFAMatcher
 from repro.patterns.parse import parse_pattern
+from tests.conftest import patterns, provenances
 
 A = pr("a")
 
@@ -173,3 +177,109 @@ class TestSoundnessAgainstDynamics:
         assert not any(
             isinstance(t.label, ReceiveLabel) for t in lts.transitions
         )
+
+
+class TestRebinding:
+    def test_innermost_binding_wins(self):
+        # b receives c into x, then rebinds x to d: the output goes to d.
+        # The old left-to-right resolve read the *outer* binding and sent
+        # the abstract message to c instead.
+        source = (
+            "a[m<c>] || a[n<d>] || b[m(x).n(x).x<v>]"
+            " || e[c(any as z).0] || e[d(any as z).0]"
+        )
+        report = analyse_flow(parse_system(source))
+        verdicts = {
+            s.key.channel: s.verdict
+            for s in report.sites.values()
+            if s.key.principal.name == "e"
+        }
+        assert verdicts["d"] is SiteVerdict.REDUNDANT
+        assert verdicts["c"] is SiteVerdict.DEAD
+
+
+class TestWidening:
+    def test_widening_forces_convergence(self):
+        # an unbounded ping-pong grows provenance forever; with a large k
+        # the store would chase ever-longer spines, widening caps it
+        source = "a[*(m<v>)] || b[*(m(x).m<x>)]"
+        report = analyse_flow(
+            parse_system(source), k=64, widen_threshold=4
+        )
+        assert report.complete
+        assert report.widened_channels == {"m"}
+
+    def test_no_widening_below_threshold(self):
+        source = "a[m<v>] || b[m(any as x).0]"
+        report = analyse_flow(parse_system(source), widen_threshold=256)
+        assert report.widened_channels == set()
+
+
+class TestCompiledCache:
+    def test_module_cache_is_bounded(self, monkeypatch):
+        from repro.analysis import static_flow as sf
+        from repro.core.provenance import Provenance
+
+        monkeypatch.setattr(sf, "_CACHE_LIMIT", 4)
+        monkeypatch.setattr(sf, "_compiled_cache", {})
+        empty = abstract_provenance(Provenance.of(), 4, 2)
+        for i in range(20):
+            match3(empty, parse_pattern(f"(x{i}!any)*"))
+        assert len(sf._compiled_cache) <= 4
+
+    def test_per_analysis_cache_is_isolated(self):
+        from repro.analysis import static_flow as sf
+
+        system = parse_system("a[m<v>] || b[m(a!any;any as x).0]")
+        before = dict(sf._compiled_cache)
+        analysis = sf.FlowAnalysis(system)
+        analysis.run()
+        assert analysis._nfa_cache  # the guard compiled somewhere
+        assert sf._compiled_cache == before  # ...but not globally
+
+
+class TestReportSurface:
+    def test_principal_summary_shape(self):
+        source = (
+            "c[m<v>] || a[m(c!any;any as x).0]"
+            " || d[n<w>] || e[n(c!any;any as y).0]"
+        )
+        system = parse_system(source)
+        summary = analyse_flow(system).principal_summary()
+        assert summary["a"] == {"redundant": 1, "dead": 0, "needed": 0}
+        assert summary["e"] == {"redundant": 0, "dead": 1, "needed": 0}
+
+    def test_certificate_shape(self):
+        system = parse_system("c[m<v>] || a[m(c!any;any as x).0]")
+        report = analyse_flow(system)
+        certificate = report.certificate()
+        assert certificate.complete
+        assert certificate.elidable_channels == frozenset({"m"})
+        payload = certificate.to_json()
+        assert payload["complete"] is True
+        assert payload["elidable_channels"] == ["m"]
+        assert payload["k"] == report.k
+
+    def test_incomplete_certificate_is_inert(self):
+        system = parse_system("c[m<v>] || a[m(c!any;any as x).0]")
+        report = analyse_flow(system, max_configs=1)
+        assert not report.complete
+        certificate = report.certificate()
+        assert certificate.elidable_channels == frozenset()
+        assert (
+            certificate.branch_action("a", "m", 0, "c!any;any") == "vet"
+        )
+
+
+class TestMatch3AgainstDynamicMatcher:
+    """On untruncated abstractions match3 is *exact*: it must agree with
+    the runtime NFA matcher and never answer MAYBE."""
+
+    @given(provenances(max_length=4, max_depth=2), patterns(depth=3))
+    @settings(max_examples=150, deadline=None)
+    def test_untruncated_match3_is_exact(self, prov, pattern):
+        abstracted = abstract_provenance(prov, k=64, nesting=64)
+        assert not abstracted.truncated
+        verdict = match3(abstracted, pattern)
+        expected = NFAMatcher().matches(prov, pattern)
+        assert verdict is (Verdict.YES if expected else Verdict.NO)
