@@ -48,6 +48,7 @@ from repro.core.names import Principal
 from repro.core.provenance import EMPTY, InputEvent, OutputEvent, dag_event_count
 from repro.core.system import system_annotated_values
 from repro.runtime.wire import (
+    Codec,
     decode_payload_v2,
     encode_payload,
     encode_payload_v2,
@@ -228,6 +229,35 @@ def _wire_curve(sizes) -> list[tuple[int, int, int, int, int]]:
     return rows
 
 
+def _codec_stream_ab(size) -> tuple[int, int, int]:
+    """(messages, reset bytes, resumed bytes) over one value stream.
+
+    Sends each of a finished channel-relay run's values as its own
+    message through two codecs: one reset per message (every payload
+    re-ships its full provenance — the pre-codec baseline) and one
+    resumed across the stream (each payload back-references everything
+    the link has already carried, as the sharded runtime's per-link
+    codecs do).  Round-trips through a resumed decoder to keep the A/B
+    honest.
+    """
+
+    workload = channel_relay_chain(size)
+    trace = _run_engine(workload.system)
+    values = tuple(system_annotated_values(trace.final))
+    per_message = Codec(streaming=False)
+    resumed = Codec()
+    decoder = Codec()
+    reset_bytes = 0
+    resumed_bytes = 0
+    for value in values:
+        reset_bytes += len(per_message.encode_payload((value,)))
+        data = resumed.encode_payload((value,))
+        resumed_bytes += len(data)
+        decoded, _ = decoder.decode_payload(data)
+        assert decoded == (value,), "resumed codec round-trip diverged"
+    return len(values), reset_bytes, resumed_bytes
+
+
 # ---------------------------------------------------------------------------
 # pytest entry points
 # ---------------------------------------------------------------------------
@@ -294,6 +324,23 @@ def test_wire_v2_tracks_dag_size():
     )
 
 
+def test_codec_resumption_shrinks_stream():
+    """A resumed link codec beats per-message encoding on a stream."""
+
+    size = WIRE_SIZES[-1]
+    messages, reset_bytes, resumed_bytes = _codec_stream_ab(size)
+    record_row(
+        EXPERIMENT,
+        f"codec n={size:3d}: {messages} messages, "
+        f"reset={reset_bytes}B resumed={resumed_bytes}B "
+        f"({reset_bytes / resumed_bytes:.2f}x)",
+    )
+    assert resumed_bytes < reset_bytes, (
+        f"resumed codec shipped {resumed_bytes}B vs {reset_bytes}B with "
+        f"per-message tables — back-references are not resuming"
+    )
+
+
 # ---------------------------------------------------------------------------
 # standalone
 # ---------------------------------------------------------------------------
@@ -339,6 +386,15 @@ def main(argv=None) -> int:
     first_ratio = rows[0][3] / rows[0][4]
     last_ratio = rows[-1][3] / rows[-1][4]
 
+    codec_n = max(wire_sizes)
+    messages, reset_bytes, resumed_bytes = _codec_stream_ab(codec_n)
+    codec_ratio = reset_bytes / resumed_bytes
+    print(
+        f"\ncodec A/B (n={codec_n}, {messages} messages): "
+        f"reset-per-message={reset_bytes}B resumed={resumed_bytes}B "
+        f"= {codec_ratio:.2f}x"
+    )
+
     failed = False
     if not arguments.smoke and worst < SPEEDUP_FLOOR:
         print(
@@ -351,6 +407,13 @@ def main(argv=None) -> int:
         print(
             f"FAIL: v1/v2 byte ratio grew only {first_ratio:.2f}x -> "
             f"{last_ratio:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if resumed_bytes >= reset_bytes:
+        print(
+            f"FAIL: resumed codec shipped {resumed_bytes}B, not less than "
+            f"the {reset_bytes}B of per-message tables",
             file=sys.stderr,
         )
         failed = True
@@ -369,6 +432,7 @@ def main(argv=None) -> int:
             "lifecycle_speedup": round(worst, 1),
             "wire_ratio_first": round(first_ratio, 2),
             "wire_ratio_last": round(last_ratio, 2),
+            "codec_stream_ratio": round(codec_ratio, 2),
         },
     )
     return 0

@@ -39,7 +39,7 @@ import time
 
 import pytest
 
-from repro.runtime import DistributedRuntime
+from repro.runtime import DistributedRuntime, RuntimeMetrics
 from repro.workloads import wide_fanout
 
 from conftest import record_row, write_snapshot
@@ -123,14 +123,16 @@ def run_scaling_gate(regions=GATE_REGIONS, sources=GATE_SOURCES,
     """A/B the substrate; returns the measured numbers.
 
     Returns ``(speedup, messages, heap_seconds, runq_seconds,
-    heap_events, runq_events)``.  The seed path runs once (it is the
-    slow side by design); the run-queue side takes the best of
-    ``runq_repeats``.
+    heap_events, runq_events, combined)`` where ``combined`` is the
+    :meth:`RuntimeMetrics.merge` of every timed run's summary — the
+    total logical work the A/B actually exercised (the same composition
+    the sharded runtime uses for its per-shard summaries).
     """
 
     workload, heap_runtime, heap_events, heap_seconds = _timed_run(
         "heap", regions, sources
     )
+    summaries = [heap_runtime.metrics.summary()]
     runq_seconds = float("inf")
     runq_events = 0
     for _ in range(runq_repeats):
@@ -139,6 +141,7 @@ def run_scaling_gate(regions=GATE_REGIONS, sources=GATE_SOURCES,
         )
         if seconds < runq_seconds:
             runq_seconds, runq_events = seconds, events
+        summaries.append(runq_runtime.metrics.summary())
         # both substrates agree on every logical counter
         assert (
             runq_runtime.metrics.summary() == heap_runtime.metrics.summary()
@@ -154,6 +157,7 @@ def run_scaling_gate(regions=GATE_REGIONS, sources=GATE_SOURCES,
         runq_seconds,
         heap_events,
         runq_events,
+        RuntimeMetrics.merge(*summaries),
     )
 
 
@@ -190,7 +194,15 @@ def test_delivered_trace_differential():
 def test_runtime_scaling_gate():
     """Run-queue substrate ≥ 5× the seed heap on wide fan-out."""
 
-    speedup, messages, heap_s, runq_s, heap_ev, runq_ev = run_scaling_gate()
+    speedup, messages, heap_s, runq_s, heap_ev, runq_ev, combined = (
+        run_scaling_gate()
+    )
+    record_row(
+        "E19-runtime-scaling",
+        f"COMBINED (RuntimeMetrics.merge of all timed runs): "
+        f"{combined['messages_sent']} sends, "
+        f"{combined['deliveries']} deliveries",
+    )
     record_row(
         "E19-runtime-scaling",
         f"GATE regions={GATE_REGIONS} sources={GATE_SOURCES} "
@@ -232,8 +244,13 @@ def main(argv=None) -> int:
         f"E19 differential: {deliveries} deliveries identical under both "
         f"schedulers (same seed, same order, same times, same values)"
     )
-    speedup, messages, heap_s, runq_s, heap_ev, runq_ev = run_scaling_gate(
-        regions, sources
+    speedup, messages, heap_s, runq_s, heap_ev, runq_ev, combined = (
+        run_scaling_gate(regions, sources)
+    )
+    print(
+        f"E19 combined A/B work (RuntimeMetrics.merge of all timed "
+        f"runs): {combined['messages_sent']} sends, "
+        f"{combined['deliveries']} deliveries"
     )
     print(
         f"E19 substrate gate: regions={regions} sources={sources} "

@@ -1,0 +1,374 @@
+"""E21: shard scaling — partitioned process shards vs one simulator.
+
+PR 6 made the single simulator fast (E19); this bench gates the next
+axis: running the *same* workload on N partitioned simulators — per
+shard its own middleware, intern tables and metrics — with cross-shard
+sends travelling as v2 wire bytes through per-link resumed codecs and a
+conservative window barrier merging the shards back into one
+deterministic run (``repro.runtime.shards``).
+
+Workload: :func:`repro.workloads.scaling.wide_fanout` under its
+:meth:`~repro.workloads.scaling.WideFanoutWorkload.shard_plan` — regions
+round-robined over shards, the collector and board on shard 0, the
+cross-region latency floor as the barrier lookahead.
+
+Gate (``--smoke`` / the test entry points):
+
+* **differential** — always enforced: the merged ``delivered_trace()``
+  of the 4-shard run (inline *and* process mode) must be bit-identical
+  to the ``shards=1`` run — same order under the canonical ``(time,
+  channel, ordinal)`` key, same times, same stamped values — and every
+  partition-independent summary counter must match exactly (byte and
+  vet-cache counters legitimately differ: resumed codecs ship less, and
+  per-shard vet caches are colder than one shared cache).
+* **throughput** — 4 process shards must deliver ≥ 2× the messages/sec
+  of the single-shard run.  Enforced only when the host actually has
+  ≥ 4 usable CPUs; below that the ratio is reported, not enforced
+  (single-core CI cannot parallelize anything), and the snapshot
+  records the CPU count so the trajectory stays interpretable.
+
+Hosts where ``multiprocessing`` cannot start workers at all write a
+snapshot with a ``skipped`` reason instead of failing (see
+``conftest.write_snapshot``).
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard_scaling.py --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke   # CI gate
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.runtime import ShardedRuntime
+from repro.workloads import wide_fanout
+
+from conftest import record_row, write_snapshot
+
+GATE_SHARDS = 4
+GATE_REGIONS = 16
+GATE_SOURCES = 300
+GATE_BURST = 8
+GATE_GUARD_DEPTH = 12
+GATE_MIN_SPEEDUP = 2.0
+GATE_MIN_CPUS = 4
+DIFF_REGIONS = 6
+DIFF_SOURCES = 20
+DIFF_BURST = 4
+"""The differential replays a smaller instance with full retention so
+the merged delivered traces can be compared record by record."""
+
+COMPARED_KEYS = (
+    "messages_sent",
+    "deliveries",
+    "pattern_checks",
+    "pattern_rejections",
+    "rejections_by_pattern",
+    "forgeries_blocked",
+    "forgeries_accepted",
+    "provenance_values",
+    "provenance_events_total",
+    "mean_provenance_events",
+    "max_provenance_spine",
+)
+"""Summary counters that must be partition-independent.  Byte counters
+are excluded on purpose — resumed per-link codecs make cross-shard
+provenance cheaper than the single-runtime encoding — as are vet-cache
+counters, which depend on how much spine history each shard's policy
+engine has already seen."""
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def multiprocessing_skip_reason():
+    """None when process shards can run here, else a printable reason."""
+
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        parent, child = context.Pipe()
+        parent.close()
+        child.close()
+    except Exception as exc:  # pragma: no cover - exotic hosts only
+        return f"multiprocessing unavailable: {exc!r}"
+    return None
+
+
+def _sharded(n_shards, shard_mode, workload_kwargs, **runtime_kwargs):
+    workload = wide_fanout(**workload_kwargs)
+    runtime = ShardedRuntime(
+        shards=n_shards,
+        shard_mode=shard_mode,
+        seed=23,
+        plan=workload.shard_plan(n_shards),
+        **runtime_kwargs,
+    )
+    runtime.deploy_builder(wide_fanout, **workload_kwargs)
+    return workload, runtime
+
+
+def _timed_run(n_shards, shard_mode, workload_kwargs):
+    """One throughput run: bounded metrics, GC parked, full drain."""
+
+    workload, runtime = _sharded(
+        n_shards,
+        shard_mode,
+        workload_kwargs,
+        detailed_metrics=False,
+        metrics_retention=256,
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        events = runtime.run(max_events=100_000_000)
+        seconds = time.perf_counter() - start
+    finally:
+        gc.enable()
+    summary = runtime.metrics_summary()
+    assert summary["deliveries"] == workload.expected_deliveries
+    assert runtime.messages_in_flight() == 0
+    assert runtime.blocked_threads() == 0
+    return workload, runtime, events, seconds
+
+
+def _diff_kwargs():
+    return dict(
+        n_regions=DIFF_REGIONS,
+        sources_per_region=DIFF_SOURCES,
+        burst=DIFF_BURST,
+        guard_depth=2,
+    )
+
+
+def run_differential(modes=("inline", "process")):
+    """Bit-for-bit: shards=4 (each mode) against the shards=1 trace.
+
+    Returns ``(deliveries, modes_checked)``.
+    """
+
+    workload_kwargs = _diff_kwargs()
+    workload, baseline = _sharded(1, "inline", workload_kwargs)
+    baseline.run(max_events=100_000_000)
+    baseline_trace = baseline.delivered_trace()
+    baseline_summary = baseline.metrics_summary()
+    assert baseline_summary["deliveries"] == workload.expected_deliveries
+    for shard_mode in modes:
+        _, sharded = _sharded(GATE_SHARDS, shard_mode, workload_kwargs)
+        sharded.run(max_events=100_000_000)
+        trace = sharded.delivered_trace()
+        assert trace == baseline_trace, (
+            f"{GATE_SHARDS}-shard {shard_mode} run delivered a different "
+            f"trace than shards=1 ({len(trace)} vs {len(baseline_trace)} "
+            f"records)"
+        )
+        summary = sharded.metrics_summary()
+        for key in COMPARED_KEYS:
+            assert summary[key] == baseline_summary[key], (
+                f"{shard_mode} summary[{key!r}] diverged: "
+                f"{summary[key]} vs {baseline_summary[key]}"
+            )
+        assert sharded.messages_in_flight() == 0
+        assert sharded.blocked_threads() == 0
+    return len(baseline_trace), tuple(modes)
+
+
+def run_scaling_gate(regions=GATE_REGIONS, sources=GATE_SOURCES,
+                     process_repeats=2):
+    """Time shards=1 against 4 process shards; returns the numbers.
+
+    Returns ``(speedup, messages, single_seconds, sharded_seconds)``.
+    The single-shard side runs once (its fast path is the plain E19
+    substrate); the sharded side takes the best of ``process_repeats``
+    so a slow worker cold-start does not decide the ratio.
+    """
+
+    workload_kwargs = dict(
+        n_regions=regions,
+        sources_per_region=sources,
+        burst=GATE_BURST,
+        guard_depth=GATE_GUARD_DEPTH,
+    )
+    _, single, _, single_seconds = _timed_run(1, "inline", workload_kwargs)
+    messages = single.metrics_summary()["deliveries"]
+    sharded_seconds = float("inf")
+    for _ in range(process_repeats):
+        _, sharded, _, seconds = _timed_run(
+            GATE_SHARDS, "process", workload_kwargs
+        )
+        sharded_seconds = min(sharded_seconds, seconds)
+        assert sharded.metrics_summary()["deliveries"] == messages
+    return (
+        single_seconds / sharded_seconds,
+        messages,
+        single_seconds,
+        sharded_seconds,
+    )
+
+
+@pytest.mark.parametrize("n_shards,shard_mode", [
+    (1, "inline"), (4, "inline"), (4, "process"),
+])
+def test_shard_throughput(benchmark, n_shards, shard_mode):
+    if shard_mode == "process" and multiprocessing_skip_reason():
+        pytest.skip(multiprocessing_skip_reason())
+
+    workload_kwargs = dict(
+        n_regions=8, sources_per_region=50, burst=4, guard_depth=4
+    )
+
+    def run():
+        return _timed_run(n_shards, shard_mode, workload_kwargs)
+
+    workload, runtime, events, seconds = benchmark(run)
+    deliveries = runtime.metrics_summary()["deliveries"]
+    record_row(
+        "E21-shard-scaling",
+        f"{shard_mode:7s} shards={n_shards}: "
+        f"principals={workload.principal_count:5d} "
+        f"messages={deliveries:6d} events={events:7d} "
+        f"rate={deliveries / seconds:9,.0f} msg/s",
+    )
+
+
+def test_shard_differential():
+    modes = ("inline",)
+    if not multiprocessing_skip_reason():
+        modes = ("inline", "process")
+    deliveries, checked = run_differential(modes)
+    record_row(
+        "E21-shard-scaling",
+        f"DIFFERENTIAL regions={DIFF_REGIONS} sources={DIFF_SOURCES}: "
+        f"{deliveries} deliveries identical (order, times, values) "
+        f"for shards={GATE_SHARDS} {'+'.join(checked)} vs shards=1",
+    )
+
+
+def test_shard_scaling_gate():
+    """4 process shards ≥ 2× one simulator — when the CPUs exist."""
+
+    reason = multiprocessing_skip_reason()
+    if reason:
+        pytest.skip(reason)
+    speedup, messages, single_s, sharded_s = run_scaling_gate(
+        regions=8, sources=100
+    )
+    cpus = usable_cpus()
+    record_row(
+        "E21-shard-scaling",
+        f"GATE shards={GATE_SHARDS}: single={single_s * 1000:.0f}ms "
+        f"sharded={sharded_s * 1000:.0f}ms → {speedup:.2f}x over "
+        f"{messages} messages (cpus={cpus}; enforced ≥ "
+        f"{GATE_MIN_SPEEDUP:.0f}x at ≥ {GATE_MIN_CPUS} cpus)",
+    )
+    if cpus >= GATE_MIN_CPUS:
+        assert speedup >= GATE_MIN_SPEEDUP, (
+            f"process shards only {speedup:.2f}x the single simulator "
+            f"(gate: {GATE_MIN_SPEEDUP}x on {cpus} cpus)"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run; the differential applies in full, the 2x "
+        "gate only on hosts with enough CPUs",
+    )
+    parser.add_argument("--regions", type=int, default=None)
+    parser.add_argument("--sources", type=int, default=None)
+    arguments = parser.parse_args(argv)
+
+    regions = arguments.regions
+    if regions is None:
+        regions = 8 if arguments.smoke else GATE_REGIONS
+    sources = arguments.sources
+    if sources is None:
+        sources = 100 if arguments.smoke else GATE_SOURCES
+
+    cpus = usable_cpus()
+    reason = multiprocessing_skip_reason()
+    if reason:
+        deliveries, checked = run_differential(modes=("inline",))
+        print(
+            f"E21 differential: {deliveries} deliveries identical for "
+            f"shards={GATE_SHARDS} inline vs shards=1"
+        )
+        write_snapshot(
+            "E21-shard-scaling",
+            {
+                "shards": GATE_SHARDS,
+                "cpus": cpus,
+                "differential_deliveries": deliveries,
+                "differential_modes": list(checked),
+            },
+            skipped=reason,
+        )
+        return 0
+
+    deliveries, checked = run_differential()
+    print(
+        f"E21 differential: {deliveries} deliveries identical for "
+        f"shards={GATE_SHARDS} {' and '.join(checked)} vs shards=1 "
+        f"(canonical order, times, stamped values, summary counters)"
+    )
+    speedup, messages, single_s, sharded_s = run_scaling_gate(
+        regions, sources
+    )
+    enforced = cpus >= GATE_MIN_CPUS
+    print(
+        f"E21 shard gate: regions={regions} sources={sources} "
+        f"burst={GATE_BURST} guards={GATE_GUARD_DEPTH} → "
+        f"single {single_s * 1000:.0f}ms "
+        f"({messages / single_s:,.0f} msg/s) vs {GATE_SHARDS} process "
+        f"shards {sharded_s * 1000:.0f}ms "
+        f"({messages / sharded_s:,.0f} msg/s) = {speedup:.2f}x "
+        f"on {cpus} usable cpus"
+    )
+    if not enforced:
+        print(
+            f"(below {GATE_MIN_CPUS} usable cpus: ratio reported, "
+            f"not enforced)"
+        )
+    elif speedup < GATE_MIN_SPEEDUP:
+        print(f"FAIL: below the {GATE_MIN_SPEEDUP}x shard-scaling gate")
+        return 1
+    else:
+        print(f"process shards clear the {GATE_MIN_SPEEDUP:.0f}x gate")
+    write_snapshot(
+        "E21-shard-scaling",
+        {
+            "shards": GATE_SHARDS,
+            "regions": regions,
+            "sources": sources,
+            "messages": messages,
+            "cpus": cpus,
+            "single_ms": round(single_s * 1000, 1),
+            "sharded_ms": round(sharded_s * 1000, 1),
+            "speedup": round(speedup, 2),
+            "gate_enforced": enforced,
+            "differential_deliveries": deliveries,
+            "differential_modes": list(checked),
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

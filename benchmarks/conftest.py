@@ -20,16 +20,28 @@ _ROWS: dict[str, list[str]] = defaultdict(list)
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def write_snapshot(experiment: str, payload: dict) -> Path:
+def write_snapshot(
+    experiment: str, payload: dict, skipped: str | None = None
+) -> Path:
     """Persist one experiment's headline numbers as ``BENCH_<id>.json``.
 
-    The gated benchmarks (E11/E17/E18/E19/E20) call this from their CI
-    ``main(--smoke)`` entry points, so every green run leaves a
+    The gated benchmarks (E11/E17/E18/E19/E20/E21) call this from their
+    CI ``main(--smoke)`` entry points, so every green run leaves a
     perf-trajectory snapshot at the repo root — the ROADMAP's
     regression-tracking bookkeeping.  Snapshots are plain flat JSON so
     diffing two commits' numbers is ``diff``, not tooling.
+
+    ``skipped`` marks a run whose environment cannot execute the
+    experiment at all (e.g. E21's process shards on a host without
+    working ``multiprocessing``): the reason lands both on stdout and in
+    the snapshot under ``"skipped"``, so the run stays green and the
+    perf trajectory shows *why* there is no number rather than silently
+    losing the data point.
     """
 
+    if skipped is not None:
+        payload = {**payload, "skipped": skipped}
+        print(f"SKIP {experiment}: {skipped}")
     path = _REPO_ROOT / f"BENCH_{experiment}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",

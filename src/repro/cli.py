@@ -140,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap per-delivery metric series at the last N entries "
         "(aggregates are streamed either way; default keeps everything)",
     )
+    sim_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition principals over N shards (default 1: the "
+        "plain single-simulator runtime)",
+    )
+    sim_p.add_argument(
+        "--shard-mode",
+        choices=["inline", "process"],
+        default="inline",
+        help="inline (default): all shards in-process, conductor-"
+        "driven, bit-identical to --shards 1 for any system; process: "
+        "one OS process per shard under a conservative window barrier "
+        "(receivers must be co-located with their channels' homes)",
+    )
+    sim_p.add_argument(
+        "--lookahead",
+        type=float,
+        default=None,
+        metavar="T",
+        help="lower bound on cross-shard link latency (process mode "
+        "barrier width; defaults to the base latency)",
+    )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -263,6 +288,61 @@ def main(argv: list[str] | None = None) -> int:
         from repro.runtime import DistributedRuntime
 
         mode = SemanticsMode.ERASED if args.erased else SemanticsMode.TRACKED
+        if args.shards > 1:
+            from repro.runtime import ShardedRuntime
+
+            runtime = ShardedRuntime(
+                shards=args.shards,
+                shard_mode=args.shard_mode,
+                seed=args.seed,
+                lookahead=args.lookahead,
+                mode=mode,
+                vetting=args.vetting,
+                scheduler=args.scheduler,
+                metrics_retention=args.metrics_retention,
+            )
+            from repro.core.errors import SimulationError
+
+            deploy_start = perf_counter()
+            try:
+                runtime.deploy(system)
+                events = runtime.run(max_events=args.max_events)
+            except SimulationError as error:
+                # process-mode placement/lookahead constraints
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            run_seconds = perf_counter() - deploy_start
+            summary = runtime.metrics_summary()
+            print(
+                f"events={events} time={runtime.now:.2f} "
+                f"blocked={runtime.blocked_threads()} "
+                f"shards={args.shards} mode={args.shard_mode}"
+            )
+            for key in (
+                "messages_sent",
+                "deliveries",
+                "bytes_total",
+                "bytes_provenance",
+                "pattern_checks",
+                "pattern_rejections",
+            ):
+                print(f"  {key} = {summary[key]}")
+            for pattern_text, count in summary[
+                "rejections_by_pattern"
+            ].items():
+                print(f"  rejected by {pattern_text}: {count}")
+            for stat in runtime.shard_stats():
+                print(
+                    "  shard {shard}: events={events} "
+                    "deliveries={deliveries} "
+                    "cross_sent={cross_shard_sent} "
+                    "cross_recv={cross_shard_received} "
+                    "barrier_stall={barrier_stall_seconds:.3f}s".format(
+                        **stat
+                    )
+                )
+            _print_timings(parse=parse_seconds, simulate=run_seconds)
+            return 0
         runtime = DistributedRuntime(
             seed=args.seed,
             mode=mode,

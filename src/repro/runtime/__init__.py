@@ -8,11 +8,24 @@ from repro.runtime.middleware import (
     PendingReceive,
     ReceiveBranch,
 )
-from repro.runtime.network import ZERO_LATENCY, LatencyModel, Network
+from repro.runtime.network import (
+    ZERO_LATENCY,
+    KeyedLatencySampler,
+    LatencyModel,
+    Network,
+)
 from repro.runtime.node import Node
 from repro.runtime.runtime import DistributedRuntime
-from repro.runtime.simulator import Simulator
+from repro.runtime.shards import (
+    Partitioner,
+    ShardedRuntime,
+    ShardPlan,
+    ShardRouter,
+    WireEnvelope,
+)
+from repro.runtime.simulator import SequenceSource, Simulator
 from repro.runtime.wire import (
+    Codec,
     decode_payload,
     decode_plain,
     decode_provenance,

@@ -265,6 +265,10 @@ class RuntimeMetrics:
 
         Aggregates come from the streaming counters, so the summary of a
         capped (``retain=N``) run is identical to an unbounded one.
+        ``provenance_values``/``provenance_events_total`` carry the raw
+        integer aggregates behind ``mean_provenance_events`` so
+        :meth:`merge` can recombine summaries exactly (integer sums,
+        one final division) instead of approximating a mean of means.
         """
 
         return {
@@ -284,9 +288,74 @@ class RuntimeMetrics:
             "forgeries_blocked": self.forgeries_blocked,
             "forgeries_accepted": self.forgeries_accepted,
             "max_provenance_spine": self._max_provenance_spine,
+            "provenance_values": self._count_provenance_events,
+            "provenance_events_total": self._sum_provenance_events,
             "mean_provenance_events": (
                 self._sum_provenance_events / self._count_provenance_events
                 if self._count_provenance_events
                 else 0.0
             ),
         }
+
+    _MERGE_SUM_KEYS = (
+        "messages_sent",
+        "deliveries",
+        "bytes_total",
+        "bytes_payload",
+        "bytes_provenance",
+        "pattern_checks",
+        "pattern_rejections",
+        "vet_transitions",
+        "vet_cache_hits",
+        "vets_elided",
+        "branches_pruned",
+        "forgeries_blocked",
+        "forgeries_accepted",
+        "provenance_values",
+        "provenance_events_total",
+    )
+    _MERGE_MAX_KEYS = ("max_provenance_spine",)
+
+    @classmethod
+    def merge(cls, *summaries: dict[str, Any]) -> dict[str, Any]:
+        """Combine :meth:`summary` dicts from several runtimes into one.
+
+        Counters sum, maxima max, the rejection attributions merge
+        per-pattern, and the derived fields (overhead ratio, mean
+        events per value) are recomputed from the merged raw aggregates
+        — so ``merge(s)`` of a single summary is that summary, and
+        merging per-shard summaries of a sharded run reports exactly
+        what one runtime doing all the work would have reported (modulo
+        bytes, which honestly differ when cross-shard links resume
+        their codec tables).  ``merge()`` of nothing is the summary of
+        an idle runtime.
+        """
+
+        merged: dict[str, Any] = {key: 0 for key in cls._MERGE_SUM_KEYS}
+        for key in cls._MERGE_MAX_KEYS:
+            merged[key] = 0
+        rejections: dict[str, int] = {}
+        for summary in summaries:
+            # tolerate partial dicts (absent counter == idle counter) so
+            # summaries from snapshots predating a counter still merge
+            for key in cls._MERGE_SUM_KEYS:
+                merged[key] += summary.get(key, 0)
+            for key in cls._MERGE_MAX_KEYS:
+                if summary.get(key, 0) > merged[key]:
+                    merged[key] = summary[key]
+            for pattern, count in summary.get(
+                "rejections_by_pattern", {}
+            ).items():
+                rejections[pattern] = rejections.get(pattern, 0) + count
+        merged["rejections_by_pattern"] = rejections
+        merged["provenance_overhead_ratio"] = (
+            round(merged["bytes_provenance"] / merged["bytes_total"], 4)
+            if merged["bytes_total"]
+            else 0.0
+        )
+        merged["mean_provenance_events"] = (
+            merged["provenance_events_total"] / merged["provenance_values"]
+            if merged["provenance_values"]
+            else 0.0
+        )
+        return merged

@@ -292,6 +292,13 @@ class Middleware:
         self.policy = PolicyEngine()
         self.nfa_matcher = NFAMatcher()
         self.supply = NameSupply()
+        self.router = None
+        """A shard router (``repro.runtime.shards.ShardRouter``) when
+        this middleware is one shard of a :class:`ShardedRuntime`, else
+        ``None``.  With a router installed, sends to channels homed on
+        another shard leave through it (v2 wire, per-link codecs) and
+        receives resolve their rendezvous manager through it; the
+        ``None`` path is byte-for-byte the unsharded fast path."""
         self._managers: dict[Channel, ChannelManager] = {}
         self._sample_types: dict[type, bool] = {}
 
@@ -430,6 +437,10 @@ class Middleware:
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot send on non-channel {channel.value!r}")
         stamped = self.stamp_output(principal, channel.provenance, payload)
+        router = self.router
+        if router is not None and not router.is_local(channel.value):
+            router.send_remote(principal, channel.value, stamped)
+            return
         metrics = self.metrics
         if metrics.detailed:
             encode = (
@@ -476,7 +487,15 @@ class Middleware:
             self.simulator.now,
             actions=actions,
         )
-        self.manager(channel.value).register(pending)
+        router = self.router
+        if router is not None and not router.is_local(channel.value):
+            # inline mode resolves the home shard's manager (same
+            # process); process mode raises — a callback cannot cross
+            # an OS process boundary, so receivers must be co-located
+            # with their channel's home shard
+            router.remote_manager(channel.value).register(pending)
+        else:
+            self.manager(channel.value).register(pending)
         return pending
 
     def _branch_actions(

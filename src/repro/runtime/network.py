@@ -16,17 +16,29 @@ while cross-region hops pay distance (they go to the timed heap).  A
 zero link (``LatencyModel(0.0, 0.0)``) samples no jitter and draws
 nothing from the generator, so adding or removing zero links never
 perturbs the random sequence timed links see.
+
+Jitter normally comes from the simulator's seeded generator — one
+stream per simulator.  The sharded runtime cannot use that stream: the
+same message would consume a different draw depending on which shard's
+generator it happened to land on, so an N-shard run would diverge from
+the single-shard run it must stay bit-identical to.
+:class:`KeyedLatencySampler` replaces the stream with a *keyed* draw —
+a stable digest of ``(seed, sender, channel, per-link ordinal)`` — so a
+message's latency depends only on its identity, never on the partition.
+(The digest is ``blake2b``, not the builtin ``hash``, which is
+randomized per process and would break cross-process determinism.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Callable, Optional
 
 from repro.core.names import Channel, Principal
 from repro.runtime.simulator import Simulator
 
-__all__ = ["LatencyModel", "Network", "ZERO_LATENCY"]
+__all__ = ["KeyedLatencySampler", "LatencyModel", "Network", "ZERO_LATENCY"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +60,47 @@ ZERO_LATENCY = LatencyModel(0.0, 0.0)
 Topology = Callable[[Optional[Principal], Optional[Channel]], LatencyModel]
 
 
+class KeyedLatencySampler:
+    """Partition-independent jitter: ``U(0, 1)`` from a stable digest.
+
+    The ``i``-th message a given sender puts on a given channel always
+    draws the same uniform value, whether the run uses one simulator or
+    sixteen — the draw is ``blake2b(seed | sender | channel | i)``
+    mapped to ``[0, 1)``.  Per-link ordinals live with the sender's
+    shard, and per-principal program order is preserved by every
+    scheduler mode, so the ordinal a message gets is itself
+    partition-independent.  Zero-jitter links never touch the counter,
+    mirroring the generator-stream rule that free links draw nothing.
+    """
+
+    __slots__ = ("seed", "_ordinals")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._ordinals: dict[tuple[str, str], int] = {}
+
+    def sample(
+        self,
+        model: LatencyModel,
+        sender: Optional[Principal],
+        channel: Optional[Channel],
+    ) -> float:
+        if model.jitter <= 0:
+            return model.base
+        key = (
+            sender.name if sender is not None else "",
+            channel.name if channel is not None else "",
+        )
+        ordinal = self._ordinals.get(key, 0)
+        self._ordinals[key] = ordinal + 1
+        digest = blake2b(
+            f"{self.seed}|{key[0]}|{key[1]}|{ordinal}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        unit = int.from_bytes(digest, "big") / 2**64
+        return model.base + unit * model.jitter
+
+
 class Network:
     """Routes messages to callbacks after a sampled per-link delay."""
 
@@ -56,10 +109,12 @@ class Network:
         simulator: Simulator,
         latency: LatencyModel = LatencyModel(),
         topology: Optional[Topology] = None,
+        sampler: Optional[KeyedLatencySampler] = None,
     ) -> None:
         self.simulator = simulator
         self.latency = latency
         self.topology = topology
+        self.sampler = sampler
         self.messages_in_flight = 0
 
     def latency_for(
@@ -72,6 +127,23 @@ class Network:
         if self.topology is None:
             return self.latency
         return self.topology(sender, channel)
+
+    def sample_latency(
+        self,
+        model: LatencyModel,
+        sender: Optional[Principal] = None,
+        channel: Optional[Channel] = None,
+    ) -> float:
+        """One latency draw — keyed when a sampler is installed.
+
+        The cross-shard router calls this too, so local and remote
+        sends on the same link share one ordinal sequence and the draw
+        a message gets does not depend on where its receiver lives.
+        """
+
+        if self.sampler is not None:
+            return self.sampler.sample(model, sender, channel)
+        return model.sample(self.simulator.rng)
 
     def deliver(
         self,
@@ -96,4 +168,24 @@ class Network:
                 self.messages_in_flight -= 1
 
         model = self.latency_for(sender, channel)
-        self.simulator.schedule(model.sample(self.simulator.rng), arrive)
+        self.simulator.schedule(
+            self.sample_latency(model, sender, channel), arrive
+        )
+
+    def deliver_at(self, callback: Callable[[], None], time: float) -> None:
+        """Deliver at an absolute arrival instant (cross-shard ingress).
+
+        The latency was already sampled on the sending shard and is
+        baked into ``time``; this side only accounts the message as in
+        flight until the scheduled arrival runs.
+        """
+
+        self.messages_in_flight += 1
+
+        def arrive() -> None:
+            try:
+                callback()
+            finally:
+                self.messages_in_flight -= 1
+
+        self.simulator.schedule_at(time, arrive)

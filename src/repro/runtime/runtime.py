@@ -20,9 +20,14 @@ from repro.core.semantics import SemanticsMode
 from repro.core.system import Located, Message, System
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.middleware import Middleware
-from repro.runtime.network import LatencyModel, Network, Topology
+from repro.runtime.network import (
+    KeyedLatencySampler,
+    LatencyModel,
+    Network,
+    Topology,
+)
 from repro.runtime.node import DEFAULT_BATCH_LIMIT, Node
-from repro.runtime.simulator import Simulator
+from repro.runtime.simulator import SequenceSource, Simulator
 from repro.runtime.wire import WIRE_V2
 
 __all__ = ["DistributedRuntime"]
@@ -60,9 +65,15 @@ class DistributedRuntime:
         topology: Optional[Topology] = None,
         metrics_retention: Optional[int] = None,
         batch_limit: Optional[int] = None,
+        sequence_source: Optional[SequenceSource] = None,
+        latency_sampler: Optional[KeyedLatencySampler] = None,
     ) -> None:
-        self.simulator = Simulator(seed, scheduler=scheduler)
-        self.network = Network(self.simulator, latency, topology=topology)
+        self.simulator = Simulator(
+            seed, scheduler=scheduler, sequence_source=sequence_source
+        )
+        self.network = Network(
+            self.simulator, latency, topology=topology, sampler=latency_sampler
+        )
         self.metrics = RuntimeMetrics(
             detailed=detailed_metrics, retain=metrics_retention
         )

@@ -49,10 +49,30 @@ from typing import Callable, Optional
 
 from repro.core.errors import SimulationError
 
-__all__ = ["Simulator"]
+__all__ = ["SequenceSource", "Simulator"]
 
 _HEAP = 0
 _RUNQ = 1
+
+
+class SequenceSource:
+    """A monotone event-sequence counter shareable across simulators.
+
+    The sharded runtime's *inline* mode runs several :class:`Simulator`
+    instances in lockstep under one conductor; handing them one shared
+    source makes every event's ``(time, sequence)`` key globally unique
+    and totally ordered exactly as a single simulator would have stamped
+    it — the invariant the bit-for-bit trace differential rests on.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.count = start
+
+    def next(self) -> int:
+        self.count += 1
+        return self.count
 
 
 @dataclass(order=True)
@@ -72,7 +92,12 @@ class Simulator:
     schedule further events.
     """
 
-    def __init__(self, seed: int = 0, scheduler: str = "runq") -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: str = "runq",
+        sequence_source: Optional[SequenceSource] = None,
+    ) -> None:
         if scheduler not in ("runq", "heap"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
         self.scheduler = scheduler
@@ -82,10 +107,18 @@ class Simulator:
         self._queue: list[_Scheduled] = []
         self._runq: deque[_Scheduled] = deque()
         self._sequence = 0
+        self._seq_source = sequence_source
         self._live = 0
         self._queue_cancelled = 0
         self._runq_cancelled = 0
         self.events_processed = 0
+
+    def _next_sequence(self) -> int:
+        source = self._seq_source
+        if source is None:
+            self._sequence += 1
+            return self._sequence
+        return source.next()
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -94,15 +127,66 @@ class Simulator:
 
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._sequence += 1
+        sequence = self._next_sequence()
         self._live += 1
         if delay == 0.0 and self._use_runq:
-            event = _Scheduled(self.now, self._sequence, callback, tier=_RUNQ)
+            event = _Scheduled(self.now, sequence, callback, tier=_RUNQ)
             self._runq.append(event)
         else:
-            event = _Scheduled(self.now + delay, self._sequence, callback)
+            event = _Scheduled(self.now + delay, sequence, callback)
             heapq.heappush(self._queue, event)
         return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> _Scheduled:
+        """Enqueue ``callback`` at an *absolute* simulated time.
+
+        The cross-shard router stamps arrivals with the sender-side
+        send time plus link latency; scheduling them by absolute time
+        keeps the arrival instant independent of the receiving shard's
+        clock reading at injection.  ``time`` must not lie in the past.
+        """
+
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self.now}"
+            )
+        sequence = self._next_sequence()
+        self._live += 1
+        if time == self.now and self._use_runq:
+            event = _Scheduled(time, sequence, callback, tier=_RUNQ)
+            self._runq.append(event)
+        else:
+            event = _Scheduled(time, sequence, callback)
+            heapq.heappush(self._queue, event)
+        return event
+
+    def next_event_key(self) -> Optional[tuple[float, int]]:
+        """``(time, sequence)`` of the next live event, or ``None``.
+
+        The inline shard conductor peeks every shard and runs the
+        globally least key; the process-mode barrier uses the time half
+        to pick the next conservative window.
+        """
+
+        event = self._next_event()
+        if event is None:
+            return None
+        return (event.time, event.sequence)
+
+    def sync_clock(self, now: float) -> None:
+        """Advance (never rewind) the clock to ``now``.
+
+        Safe whenever every pending event's time is ``>= now`` — the
+        conductor calls this with the global minimum event time before
+        each step, so callbacks that schedule onto *other* simulators
+        (cross-shard continuations) stamp work at the current instant
+        rather than at a stale shard-local reading.
+        """
+
+        if now > self.now:
+            self.now = now
 
     def cancel(self, event: _Scheduled) -> None:
         """Mark a scheduled event as dead (it will be skipped).

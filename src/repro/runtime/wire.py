@@ -62,6 +62,7 @@ from repro.core.provenance import EMPTY, Event, InputEvent, OutputEvent, Provena
 from repro.core.values import AnnotatedValue
 
 __all__ = [
+    "Codec",
     "encode_varint",
     "decode_varint",
     "encode_plain",
@@ -421,6 +422,100 @@ def decode_payload_v2(
         provenance, offset = decoder.decode_provenance(data, offset)
         values.append(AnnotatedValue(plain_value, provenance))
     return tuple(values), offset
+
+
+class Codec:
+    """A v2 codec whose back-reference tables outlive single messages.
+
+    :func:`encode_payload_v2`/:func:`decode_payload_v2` build fresh
+    tables per payload, so two consecutive messages that share ninety
+    percent of their provenance ship that ninety percent twice.  A
+    ``Codec`` is the streaming generalization: in the default *resumed*
+    mode the tables persist across calls, so a message only ships the
+    provenance its predecessors on the same stream have not already
+    shipped — later occurrences collapse to varint back-references with
+    ids that are stable for the lifetime of the stream.  This is what
+    makes cross-shard links affordable: each directed shard pair keeps
+    one encoder/decoder pair, and the ids travel on the wire, so spines
+    re-intern consistently on the receiving shard.
+
+    The two endpoints of a stream must agree on history: decode calls
+    must see payloads in encode order (the shard router guarantees this
+    with per-link FIFO sequence numbers), and a :meth:`reset` on one
+    side only makes sense alongside a reset on the other.
+
+    ``reset()`` drops both tables *and* switches to per-message mode
+    (every call starts cold — byte-identical to the one-shot
+    functions); ``resume()`` switches back to streaming mode, keeping
+    whatever the tables currently hold.
+    """
+
+    __slots__ = ("_encoder", "_decoder", "_streaming")
+
+    def __init__(self, streaming: bool = True) -> None:
+        self._encoder = _V2Encoder()
+        self._decoder = _V2Decoder()
+        self._streaming = streaming
+
+    @property
+    def streaming(self) -> bool:
+        """Whether tables persist across messages."""
+
+        return self._streaming
+
+    @property
+    def table_sizes(self) -> tuple[int, int]:
+        """(spine nodes, events) currently registered on the encode side."""
+
+        return (
+            len(self._encoder._spine_ids),
+            len(self._encoder._event_ids),
+        )
+
+    def reset(self) -> None:
+        """Forget all shared state; subsequent messages stand alone."""
+
+        self._encoder = _V2Encoder()
+        self._decoder = _V2Decoder()
+        self._streaming = False
+
+    def resume(self) -> None:
+        """Re-enter streaming mode, carrying the current tables forward."""
+
+        self._streaming = True
+
+    def encode_payload(self, payload: tuple[AnnotatedValue, ...]) -> bytes:
+        """One payload2 frame; back-references reach into stream history."""
+
+        if not self._streaming:
+            self._encoder = _V2Encoder()
+        out = bytearray(encode_varint(len(payload)))
+        encoder = self._encoder
+        for value in payload:
+            out += encode_plain(value.value)
+            encoder.encode_provenance(value.provenance, out)
+        return bytes(out)
+
+    def decode_payload(
+        self, data: bytes, offset: int = 0
+    ) -> tuple[tuple[AnnotatedValue, ...], int]:
+        """Decode one frame produced by this stream's encode side."""
+
+        if not self._streaming:
+            self._decoder = _V2Decoder()
+        count, offset = decode_varint(data, offset)
+        if count > (len(data) - offset) // _MIN_VALUE_BYTES:
+            raise WireFormatError(
+                f"truncated payload: {count} values claimed but only "
+                f"{len(data) - offset} bytes remain"
+            )
+        decoder = self._decoder
+        values = []
+        for _ in range(count):
+            plain_value, offset = decode_plain(data, offset)
+            provenance, offset = decoder.decode_provenance(data, offset)
+            values.append(AnnotatedValue(plain_value, provenance))
+        return tuple(values), offset
 
 
 # ---------------------------------------------------------------------------

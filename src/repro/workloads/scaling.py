@@ -78,6 +78,7 @@ from repro.patterns.ast import (
     Sequence,
 )
 from repro.runtime.network import ZERO_LATENCY, LatencyModel, Topology
+from repro.runtime.shards import ShardPlan
 from repro.workloads.topologies import freeze
 
 __all__ = [
@@ -357,6 +358,40 @@ class WideFanoutWorkload:
         """Every message finds a dedicated receiver exactly once."""
 
         return self.expected_messages
+
+    def shard_plan(self, n_shards: int) -> ShardPlan:
+        """Round-robin the regions over ``n_shards``; core on shard 0.
+
+        Regions are communication-closed except for their beacon, so
+        placing each region's sources, sink, reporter and work channels
+        on one shard makes every burst delivery shard-local; only the
+        per-region beacon crosses to the collector (with the board, on
+        shard 0).  Every receiver is co-located with its channel's
+        home, which is what process mode requires, and the declared
+        ``lookahead`` is the cross-region latency floor — region 0's
+        ``cross_base``, the cheapest link any beacon can take — so the
+        conservative barrier is sound by construction.
+        """
+
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        principals = {self.collector.name: 0}
+        channels = {self.board.name: 0}
+        for region, (sink, reporter) in enumerate(
+            zip(self.sinks, self.reporters)
+        ):
+            principals[sink.name] = region % n_shards
+            principals[reporter.name] = region % n_shards
+        for index, source in enumerate(self.sources):
+            principals[source.name] = (
+                index // self.sources_per_region
+            ) % n_shards
+        for index, work in enumerate(self.work_channels):
+            channels[work.name] = (
+                index // self.sources_per_region
+            ) % n_shards
+        lookahead = self.topology(self.reporters[0], self.board).base
+        return ShardPlan(principals, channels, lookahead)
 
 
 def wide_fanout(

@@ -111,6 +111,22 @@ class TestSim:
         out = capsys.readouterr().out
         assert "pattern_checks = 0" in out
 
+    def test_sim_sharded_reports_per_shard_stats(self, system_file, capsys):
+        assert main(["sim", system_file, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2 mode=inline" in out
+        assert "deliveries = 2" in out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert "barrier_stall=" in out
+
+    def test_sim_sharded_matches_unsharded_counts(self, system_file, capsys):
+        assert main(["sim", system_file, "--shards", "3", "--seed", "5"]) == 0
+        sharded = capsys.readouterr().out
+        assert main(["sim", system_file, "--seed", "5"]) == 0
+        plain = capsys.readouterr().out
+        for line in ("messages_sent = 3", "deliveries = 2"):
+            assert line in sharded and line in plain
+
 
 class TestLint:
     CLEAN = "a[m<v>] || b[m(a!any;any as x).0]"

@@ -300,6 +300,156 @@ class TestWire:
             decode_provenance(b"\x01\x5a\xff\xff", 0)
 
 
+class TestCodec:
+    """v2 back-reference tables that outlive single messages."""
+
+    @staticmethod
+    def _growing_payloads(n=6):
+        """Payloads whose provenance extends a single shared spine."""
+
+        from repro.core.provenance import Provenance
+
+        spine = EMPTY
+        payloads = []
+        for index in range(n):
+            spine = spine.cons(OutputEvent(A, EMPTY)).cons(
+                InputEvent(B, EMPTY)
+            )
+            payloads.append((annotate(V, spine), annotate(M, spine)))
+        assert isinstance(spine, Provenance)
+        return payloads
+
+    def test_resumed_round_trip_in_order(self):
+        from repro.runtime.wire import Codec
+
+        encoder, decoder = Codec(), Codec()
+        for payload in self._growing_payloads():
+            frame = encoder.encode_payload(payload)
+            decoded, offset = decoder.decode_payload(frame)
+            assert decoded == payload
+            assert offset == len(frame)
+
+    def test_resumption_shrinks_repeat_provenance(self):
+        from repro.runtime.wire import Codec, encode_payload_v2
+
+        encoder = Codec()
+        payloads = self._growing_payloads()
+        frames = [encoder.encode_payload(p) for p in payloads]
+        # the per-message encoding re-ships the whole spine every time;
+        # the resumed stream ships only the two new events per message
+        for payload, frame in zip(payloads[1:], frames[1:]):
+            assert len(frame) < len(encode_payload_v2(payload))
+        assert encoder.table_sizes[0] > 0
+
+    def test_second_frame_needs_stream_history(self):
+        from repro.runtime.wire import Codec
+
+        encoder = Codec()
+        payloads = self._growing_payloads(2)
+        encoder.encode_payload(payloads[0])
+        second = encoder.encode_payload(payloads[1])
+        with pytest.raises(WireFormatError, match="back-reference"):
+            Codec().decode_payload(second)
+
+    def test_reset_matches_one_shot_encoding(self):
+        from repro.runtime.wire import Codec, encode_payload_v2
+
+        codec = Codec()
+        payloads = self._growing_payloads(3)
+        for payload in payloads:
+            codec.encode_payload(payload)
+        codec.reset()
+        assert not codec.streaming
+        for payload in payloads:
+            assert codec.encode_payload(payload) == encode_payload_v2(
+                payload
+            )
+            decoded, _ = codec.decode_payload(
+                codec.encode_payload(payload)
+            )
+            assert decoded == payload
+
+    def test_resume_restores_streaming(self):
+        from repro.runtime.wire import Codec
+
+        codec = Codec()
+        codec.reset()
+        codec.resume()
+        assert codec.streaming
+        payloads = self._growing_payloads(2)
+        frames = [codec.encode_payload(p) for p in payloads]
+        assert len(frames[1]) < len(frames[0])
+
+    def test_decoded_spines_intern_identically(self):
+        from repro.runtime.wire import Codec
+
+        encoder, decoder = Codec(), Codec()
+        payloads = self._growing_payloads(2)
+        first = decoder.decode_payload(encoder.encode_payload(payloads[0]))
+        second = decoder.decode_payload(encoder.encode_payload(payloads[1]))
+        # both values of a payload share one spine; the back-referenced
+        # decode must yield the *same interned node*, not a copy
+        assert first[0][0].provenance is first[0][1].provenance
+        assert (
+            second[0][0].provenance.tail.tail is first[0][0].provenance
+        )
+
+
+class TestMetricsMergeSummaries:
+    def _summary_for(self, source):
+        runtime = DistributedRuntime(seed=4, latency=LatencyModel(1.0, 0.0))
+        runtime.deploy(parse_system(source))
+        runtime.run()
+        return runtime.metrics.summary()
+
+    def test_merge_sums_counters_and_recomputes_means(self):
+        from repro.runtime import RuntimeMetrics
+
+        first = self._summary_for("a[m<u>] || b[m(x).n<x>] || c[n(y).0]")
+        second = self._summary_for("a[m<u>] || b[m(x).0]")
+        merged = RuntimeMetrics.merge(first, second)
+        assert merged["deliveries"] == first["deliveries"] + second[
+            "deliveries"
+        ]
+        assert merged["messages_sent"] == first["messages_sent"] + second[
+            "messages_sent"
+        ]
+        assert merged["bytes_total"] == first["bytes_total"] + second[
+            "bytes_total"
+        ]
+        assert merged["max_provenance_spine"] == max(
+            first["max_provenance_spine"], second["max_provenance_spine"]
+        )
+        # the mean is recomputed from merged integer sums — exactly
+        assert merged["mean_provenance_events"] == (
+            merged["provenance_events_total"] / merged["provenance_values"]
+        )
+
+    def test_merge_of_one_summary_is_a_projection(self):
+        from repro.runtime import RuntimeMetrics
+
+        summary = self._summary_for("a[m<u>] || b[m(x).0]")
+        merged = RuntimeMetrics.merge(summary)
+        for key in (
+            "messages_sent",
+            "deliveries",
+            "bytes_total",
+            "pattern_checks",
+            "mean_provenance_events",
+            "provenance_overhead_ratio",
+            "rejections_by_pattern",
+        ):
+            assert merged[key] == summary[key], key
+
+    def test_merge_unions_rejection_tables(self):
+        from repro.runtime import RuntimeMetrics
+
+        left = {"rejections_by_pattern": {"p": 2, "q": 1}}
+        right = {"rejections_by_pattern": {"q": 3}}
+        merged = RuntimeMetrics.merge(left, right)
+        assert merged["rejections_by_pattern"] == {"p": 2, "q": 4}
+
+
 class TestMiddleware:
     def test_runtime_delivery_matches_calculus_provenance(self):
         # the runtime's stamped provenance equals the engine's
