@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fault injection: tamper-evident provenance under a hostile substrate.
+
+PR 8's integrity layer in one demo.  A relay gauntlet (values hopping
+through honest intermediaries, each hop stamping the spine) runs three
+times on the same seed:
+
+1. **calm**: no faults — the reference delivered trace;
+2. **lossy**: seeded link faults (drop / duplicate / reorder) — the run
+   degrades gracefully and deterministically: the same seed always
+   drops the same messages;
+3. **corrupting**: bit-garbling links with paranoid delivery
+   verification — every corrupted history is caught at the rendezvous
+   by its broken Merkle/HMAC chain, and no garbled value ever reaches
+   a receiver.
+
+Then the same corrupting plan runs across **two shards**, where
+corruption hits the actual wire bytes and the frame digest catches it
+at ingest (poisoning the link — the realistic fate of a corrupted
+resumed codec stream).
+
+Run:  PYTHONPATH=src python examples/fault_injection.py
+"""
+
+from repro.runtime import DistributedRuntime, FaultPlan, ShardedRuntime
+from repro.workloads import relay_gauntlet
+
+HOPS, LANES = 8, 4
+
+
+def run(label: str, **kwargs) -> dict:
+    workload = relay_gauntlet(hops=HOPS, lanes=LANES)
+    runtime = DistributedRuntime(seed=42, **kwargs)
+    runtime.deploy(workload.system)
+    runtime.run()
+    summary = runtime.metrics.summary()
+    print(
+        f"[{label:10s}] deliveries={summary['deliveries']:2d}/"
+        f"{workload.expected_deliveries} "
+        f"dropped={summary['faults_dropped']} "
+        f"duplicated={summary['faults_duplicated']} "
+        f"corrupted={summary['faults_corrupted']} "
+        f"tamper_detected={summary['tamper_detected']}"
+    )
+    return summary
+
+
+def main() -> None:
+    print(f"relay gauntlet: {LANES} lanes x {HOPS} hops\n")
+
+    calm = run("calm")
+    assert calm["deliveries"] == LANES * (HOPS + 1)
+    assert calm["tamper_detected"] == 0
+
+    lossy_plan = FaultPlan.parse("drop=0.05,dup=0.05,reorder=0.1")
+    lossy = run("lossy", fault_plan=lossy_plan)
+    again = run("lossy-again", fault_plan=lossy_plan)
+    assert lossy == again, "same seed, same faults, same run"
+
+    corrupting = run(
+        "corrupting",
+        fault_plan=FaultPlan(corrupt=0.2),
+        verify_deliveries=True,
+    )
+    assert corrupting["faults_corrupted"] > 0
+    # every garbled history was caught at its rendezvous — none delivered
+    assert (
+        corrupting["tamper_by_kind"]["chain"]
+        == corrupting["faults_corrupted"]
+    )
+
+    workload = relay_gauntlet(hops=HOPS, lanes=LANES)
+    sharded = ShardedRuntime(
+        seed=42,
+        shards=2,
+        fault_plan=FaultPlan(corrupt=0.2),
+        verify_deliveries=True,
+    )
+    sharded.deploy(workload.system)
+    sharded.run()
+    summary = sharded.metrics_summary()
+    print(
+        f"[{'sharded':10s}] deliveries={summary['deliveries']:2d} "
+        f"corrupted={summary['faults_corrupted']} "
+        f"tamper_detected={summary['tamper_detected']} "
+        f"(wire frames rejected by digest, links poisoned)"
+    )
+    if summary["faults_corrupted"]:
+        assert summary["tamper_detected"] > 0
+
+    print(
+        "\nFault injection demo OK: deterministic degradation under "
+        "loss,\nand 100% detection of corrupted histories — locally by "
+        "chain\nverification, across shards by the frame digest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -165,6 +165,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="lower bound on cross-shard link latency (process mode "
         "barrier width; defaults to the base latency)",
     )
+    sim_p.add_argument(
+        "--adversary",
+        choices=[
+            "collude",
+            "forge",
+            "garble",
+            "mix",
+            "replay",
+            "splice",
+            "truncate",
+        ],
+        default=None,
+        metavar="MIX",
+        help="after the run, drive the named attack mix against the "
+        "middleware and report detection (forge, replay, truncate, "
+        "splice, collude, garble, or mix for all)",
+    )
+    sim_p.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="inject link faults, e.g. 'drop=0.01,dup=0.02,corrupt=0.005'"
+        " (keys: drop, dup, reorder, corrupt, delay; seeded, "
+        "deterministic per link)",
+    )
+    sim_p.add_argument(
+        "--verify-deliveries",
+        action="store_true",
+        help="cryptographically re-verify every payload's provenance "
+        "chain at its rendezvous (paranoid integrity mode)",
+    )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -285,12 +317,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if report.holds else 1
 
     if args.command == "sim":
-        from repro.runtime import DistributedRuntime
+        from repro.runtime import DistributedRuntime, FaultPlan
 
         mode = SemanticsMode.ERASED if args.erased else SemanticsMode.TRACKED
+        fault_plan = None
+        if args.faults:
+            try:
+                fault_plan = FaultPlan.parse(args.faults)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
         if args.shards > 1:
             from repro.runtime import ShardedRuntime
 
+            if args.adversary:
+                print(
+                    "error: --adversary needs the single-runtime "
+                    "middleware; use --shards 1",
+                    file=sys.stderr,
+                )
+                return 2
             runtime = ShardedRuntime(
                 shards=args.shards,
                 shard_mode=args.shard_mode,
@@ -300,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
                 vetting=args.vetting,
                 scheduler=args.scheduler,
                 metrics_retention=args.metrics_retention,
+                verify_deliveries=args.verify_deliveries,
+                fault_plan=fault_plan,
             )
             from repro.core.errors import SimulationError
 
@@ -327,6 +375,18 @@ def main(argv: list[str] | None = None) -> int:
                 "pattern_rejections",
             ):
                 print(f"  {key} = {summary[key]}")
+            if args.verify_deliveries or fault_plan is not None:
+                for key in (
+                    "verify_calls",
+                    "verify_nodes_checked",
+                    "tamper_detected",
+                    "replays_blocked",
+                    "faults_dropped",
+                    "faults_duplicated",
+                    "faults_reordered",
+                    "faults_corrupted",
+                ):
+                    print(f"  {key} = {summary[key]}")
             for pattern_text, count in summary[
                 "rejections_by_pattern"
             ].items():
@@ -349,11 +409,30 @@ def main(argv: list[str] | None = None) -> int:
             vetting=args.vetting,
             scheduler=args.scheduler,
             metrics_retention=args.metrics_retention,
+            verify_deliveries=args.verify_deliveries,
+            fault_plan=fault_plan,
         )
         deploy_start = perf_counter()
         runtime.deploy(system)
         events = runtime.run(max_events=args.max_events)
         run_seconds = perf_counter() - deploy_start
+        if args.adversary:
+            from repro.runtime import ATTACK_MIXES, run_threat_suite
+
+            outcomes = run_threat_suite(
+                runtime.middleware, attacks=ATTACK_MIXES[args.adversary]
+            )
+            runtime.run(max_events=args.max_events)  # drain accepted posts
+            detected = sum(1 for o in outcomes if o.detected)
+            print(f"adversary[{args.adversary}]: {len(outcomes)} attack(s)")
+            for o in outcomes:
+                verdict = (
+                    "detected"
+                    if o.detected
+                    else ("ACCEPTED" if o.accepted else "blocked")
+                )
+                print(f"  {o.attack:10s} {verdict}")
+            print(f"  detection: {detected}/{len(outcomes)}")
         summary = runtime.metrics.summary()
         print(
             f"events={events} time={runtime.now:.2f} "
@@ -370,6 +449,19 @@ def main(argv: list[str] | None = None) -> int:
             "vet_cache_hits",
         ):
             print(f"  {key} = {summary[key]}")
+        if args.verify_deliveries or args.adversary or fault_plan is not None:
+            for key in (
+                "verify_calls",
+                "verify_nodes_checked",
+                "tamper_detected",
+                "replays_blocked",
+                "principals_quarantined",
+                "faults_dropped",
+                "faults_duplicated",
+                "faults_reordered",
+                "faults_corrupted",
+            ):
+                print(f"  {key} = {summary[key]}")
         for pattern_text, count in summary["rejections_by_pattern"].items():
             print(f"  rejected by {pattern_text}: {count}")
         stats = runtime.middleware.vetting_stats()

@@ -15,6 +15,8 @@ __all__ = [
     "ReductionError",
     "ParseError",
     "WireFormatError",
+    "WireError",
+    "IntegrityError",
     "SimulationError",
     "AnalysisError",
 ]
@@ -70,7 +72,27 @@ class ParseError(ReproError):
 
 
 class WireFormatError(ReproError):
-    """The runtime wire codec met malformed bytes while decoding."""
+    """The runtime wire codec met malformed bytes while decoding.
+
+    Carries the byte ``offset`` (position in the decoded payload) at
+    which the problem was detected, when known, so tooling can point at
+    the corrupt region; ``offset`` is ``None`` for stream-level failures
+    with no meaningful position.
+    """
+
+    def __init__(self, message: str, offset: "int | None" = None) -> None:
+        location = f" at byte {offset}" if offset is not None else ""
+        super().__init__(f"{message}{location}")
+        self.offset = offset
+
+
+WireError = WireFormatError
+"""Alias — the hostile-input decode paths raise this, never bare
+``KeyError``/``IndexError``."""
+
+
+class IntegrityError(ReproError):
+    """A provenance integrity check failed (bad tag, broken chain)."""
 
 
 class SimulationError(ReproError):

@@ -48,16 +48,40 @@ and the tables never pin memory.  The tables are process-global and
 assume the CPython GIL with single-threaded construction (true of the
 whole engine and the simulated runtime); see
 :func:`intern_table_sizes` for introspection.
+
+Merkle chain
+------------
+
+Besides the (collision-prone, process-local) structural ``hash``, every
+event and spine node carries a **cryptographic digest** — 16 bytes of
+``blake2b`` over a canonical encoding, computed once at intern time from
+the already-computed digests of the children, so :meth:`Provenance.cons`
+stays O(1):
+
+* event digest: ``blake2b(tag ‖ len(principal) ‖ principal ‖
+  digest(channel provenance))``;
+* spine digest: ``blake2b(digest(head event) ‖ digest(tail))``, with a
+  fixed domain-separated digest for ``ε``.
+
+A node's digest therefore commits to its *entire* history — the spine
+below it and every nested channel provenance, transitively.  Two
+provenances have equal digests iff they are structurally equal (up to
+blake2b collisions), across processes and machines: the digest is the
+identity the wire layer ships for corruption detection and the quantity
+the middleware's :class:`~repro.core.integrity.KeyRing` signs to make
+histories unforgeable (see :mod:`repro.core.integrity`).
 """
 
 from __future__ import annotations
 
 import weakref
+from hashlib import blake2b
 from typing import Iterable, Iterator
 
 from repro.core.names import Principal
 
 __all__ = [
+    "DIGEST_SIZE",
     "Event",
     "OutputEvent",
     "InputEvent",
@@ -66,6 +90,10 @@ __all__ = [
     "dag_event_count",
     "intern_table_sizes",
 ]
+
+
+DIGEST_SIZE = 16
+"""Bytes of blake2b digest carried by every event and spine node."""
 
 
 _EVENT_INTERN: "weakref.WeakValueDictionary[tuple, Event]" = (
@@ -95,6 +123,7 @@ class Event:
         "principal",
         "channel_provenance",
         "_hash",
+        "_digest",
         "_principals",
         "_total_events",
         "_depth",
@@ -132,6 +161,18 @@ class Event:
         object.__setattr__(
             self, "_hash", hash((cls._symbol, principal, nested._hash))
         )
+        name = principal.name.encode("utf-8")
+        object.__setattr__(
+            self,
+            "_digest",
+            blake2b(
+                cls._symbol.encode("ascii")
+                + len(name).to_bytes(4, "big")
+                + name
+                + nested._digest,
+                digest_size=DIGEST_SIZE,
+            ).digest(),
+        )
         _EVENT_INTERN[key] = self
         return self
 
@@ -144,6 +185,13 @@ class Event:
     @property
     def symbol(self) -> str:
         return type(self)._symbol
+
+    @property
+    def digest(self) -> bytes:
+        """Cryptographic digest committing to this event and everything
+        nested below it (see module docstring, *Merkle chain*)."""
+
+        return self._digest
 
     def principals(self) -> frozenset[Principal]:
         """All principals mentioned by this event, including nested ones."""
@@ -208,6 +256,7 @@ class Provenance:
         "_tail",
         "_length",
         "_hash",
+        "_digest",
         "_principals",
         "_total_events",
         "_depth",
@@ -264,6 +313,13 @@ class Provenance:
             mentioned = mentioned | event._principals
         object.__setattr__(node, "_principals", mentioned)
         object.__setattr__(node, "_hash", hash((event._hash, self._hash)))
+        object.__setattr__(
+            node,
+            "_digest",
+            blake2b(
+                event._digest + self._digest, digest_size=DIGEST_SIZE
+            ).digest(),
+        )
         _SPINE_INTERN[key] = node
         return node
 
@@ -321,6 +377,17 @@ class Provenance:
 
     def __hash__(self) -> int:
         return self._hash
+
+    @property
+    def digest(self) -> bytes:
+        """Merkle digest of the whole history hanging off this node.
+
+        Equal digests ⟺ structurally equal provenances (up to blake2b
+        collisions), across process boundaries — unlike ``hash``, which
+        is process-local.  Computed once at intern time; O(1) to read.
+        """
+
+        return self._digest
 
     def __reduce__(self):
         return (Provenance, (tuple(self),))
@@ -412,6 +479,11 @@ def _make_empty() -> Provenance:
     object.__setattr__(node, "_depth", 0)
     object.__setattr__(node, "_principals", frozenset())
     object.__setattr__(node, "_hash", hash(("repro.provenance", "ε")))
+    object.__setattr__(
+        node,
+        "_digest",
+        blake2b(b"repro.provenance.empty", digest_size=DIGEST_SIZE).digest(),
+    )
     object.__setattr__(node, "_tail", node)
     return node
 

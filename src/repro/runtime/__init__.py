@@ -1,6 +1,15 @@
 """Simulated distributed runtime: the trusted-middleware deployment."""
 
-from repro.runtime.adversary import ForgingAdversary
+from repro.runtime.adversary import (
+    ATTACK_MIXES,
+    AttackOutcome,
+    CollusionAdversary,
+    ForgingAdversary,
+    GarblingAdversary,
+    SplicingAdversary,
+    TruncatingAdversary,
+    run_threat_suite,
+)
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
 from repro.runtime.middleware import (
     ChannelManager,
@@ -10,6 +19,8 @@ from repro.runtime.middleware import (
 )
 from repro.runtime.network import (
     ZERO_LATENCY,
+    FaultInjector,
+    FaultPlan,
     KeyedLatencySampler,
     LatencyModel,
     Network,

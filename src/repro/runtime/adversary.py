@@ -1,37 +1,91 @@
-"""Adversarial principals: forging provenance.
+"""Byzantine threat suite: adversarial principals attacking provenance.
 
 The paper's introduction motivates middleware-enforced provenance with a
 forgery: under the application-level convention ``n⟨sender, value⟩``,
 nothing stops ``b`` from sending ``n⟨a, v₂⟩`` and impersonating ``a``.
-:class:`ForgingAdversary` mounts exactly that attack against the runtime:
-it fabricates an annotated value whose provenance claims some victim
-principal sent it, and tries to slip it past the middleware.
+This module grows that single attack into a taxonomy exercised against
+the cryptographic integrity layer (:mod:`repro.core.integrity`):
 
-With ``enforce_integrity=True`` (the default, modelling the digital
-signature scheme the paper appeals to) the injection is dropped and
-counted in ``metrics.forgeries_blocked``; with enforcement off — the
-convention-based world — the forgery lands and consumers relying on
-provenance are deceived.  Example ``examples/adversary_forgery.py`` and
-the E5 tests run both worlds side by side.
+* **forged origins** — :class:`ForgingAdversary` fabricates a history
+  claiming a victim principal produced the value;
+* **replays** — genuine captured history pushed through an unauthorized
+  door (:meth:`ForgingAdversary.replay`);
+* **truncation** — :class:`TruncatingAdversary` presents a genuine
+  history with its most recent hops sliced off (a stale prefix — the
+  chain itself still verifies, so the *door* classification catches it
+  as a replay of old history);
+* **splicing** — :class:`SplicingAdversary` grafts the head event of one
+  genuine history onto another, producing a never-attested cons node;
+* **collusion** — :class:`CollusionAdversary` holds principals' *leaked*
+  keys and can forge exactly what those principals could sign: a
+  coalition fabricating only its own hops is accepted (the documented
+  boundary of symmetric attestation), implicating an honest principal
+  is detected;
+* **crash-and-garble** — :class:`GarblingAdversary` models a principal
+  that crashes mid-send and emits a bit-garbled history (the in-memory
+  analogue of a *corrupt* link fault).
+
+Every attack lands in :class:`~repro.runtime.metrics.RuntimeMetrics`
+(``attack_attempts`` per adversary, ``tamper_by_kind`` per detection
+class), and :func:`run_threat_suite` drives the full taxonomy against a
+middleware, returning one :class:`AttackOutcome` per attack —
+``benchmarks/bench_adversary.py`` (E22) gates that the detectable set is
+detected 100% of the time.  With ``enforce_integrity=False`` — the
+convention-based world of the paper's §1 — the same suite reports every
+attack accepted.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Optional
+
+from repro.core.integrity import TAG_SIZE, KeyRing
 from repro.core.names import Channel, PlainValue, Principal
 from repro.core.provenance import EMPTY, OutputEvent, Provenance
 from repro.core.values import AnnotatedValue
-from repro.runtime.middleware import Middleware
+from repro.runtime.middleware import Middleware, _garbled
 
-__all__ = ["ForgingAdversary"]
+__all__ = [
+    "ATTACK_MIXES",
+    "Adversary",
+    "AttackOutcome",
+    "CollusionAdversary",
+    "ForgingAdversary",
+    "GarblingAdversary",
+    "SplicingAdversary",
+    "TruncatingAdversary",
+    "run_threat_suite",
+]
 
 
-class ForgingAdversary:
-    """A principal that fabricates provenance."""
+class Adversary:
+    """Common machinery: a hostile principal aimed at a middleware."""
+
+    name = "adversary"
 
     def __init__(self, principal: Principal, middleware: Middleware) -> None:
         self.principal = principal
         self.middleware = middleware
         self.attempts = 0
+
+    def _attempt(self, attack: Optional[str] = None) -> None:
+        self.attempts += 1
+        self.middleware.metrics.record_attack(attack or self.name)
+
+    def _inject(
+        self, channel: Channel, payload: tuple[AnnotatedValue, ...], **kw
+    ) -> bool:
+        return self.middleware.inject_raw(
+            channel, payload, sender=self.principal, **kw
+        )
+
+
+class ForgingAdversary(Adversary):
+    """A principal that fabricates or replays provenance."""
+
+    name = "forge"
 
     def forge_origin(
         self,
@@ -51,13 +105,274 @@ class ForgingAdversary:
         fabricated = tuple(
             AnnotatedValue(value, provenance) for value in payload
         )
-        self.attempts += 1
-        return self.middleware.inject_raw(channel, fabricated, signed=False)
+        self._attempt("forge")
+        return self._inject(channel, fabricated)
 
     def replay(
         self, channel: Channel, captured: tuple[AnnotatedValue, ...]
     ) -> bool:
         """Replay a previously observed annotated payload verbatim."""
 
-        self.attempts += 1
-        return self.middleware.inject_raw(channel, captured, signed=False)
+        self._attempt("replay")
+        return self._inject(channel, captured)
+
+
+class TruncatingAdversary(Adversary):
+    """Presents genuine history with its freshest hops cut off."""
+
+    name = "truncate"
+
+    def truncate(
+        self,
+        channel: Channel,
+        captured: tuple[AnnotatedValue, ...],
+        drop: int = 1,
+    ) -> bool:
+        """Strip the ``drop`` most recent events and present the stale rest.
+
+        Every surviving node is a genuine attested prefix, so the chain
+        verifies — what gives the attack away is the *door*: stale
+        history arriving outside any authorized send is a replay.
+        """
+
+        truncated = []
+        for value in captured:
+            provenance = value.provenance
+            for _ in range(drop):
+                if provenance.is_empty:
+                    break
+                provenance = provenance.tail
+            truncated.append(value.with_provenance(provenance))
+        self._attempt("truncate")
+        return self._inject(channel, tuple(truncated))
+
+
+class SplicingAdversary(Adversary):
+    """Grafts the head of one genuine history onto another."""
+
+    name = "splice"
+
+    def splice(
+        self,
+        channel: Channel,
+        donor: AnnotatedValue,
+        target: AnnotatedValue,
+    ) -> bool:
+        """Present ``target`` wearing ``donor``'s most recent event.
+
+        Both inputs are genuine, but the grafted cons node never passed
+        through the middleware: no attestation tag exists for it, so
+        chain verification rejects the splice point exactly.
+        """
+
+        if donor.provenance.is_empty:
+            raise ValueError("donor history is empty — nothing to splice")
+        spliced = target.provenance.cons(donor.provenance.head)
+        self._attempt("splice")
+        return self._inject(channel, (target.with_provenance(spliced),))
+
+
+class CollusionAdversary(Adversary):
+    """A coalition of compromised principals pooling leaked keys.
+
+    Holds the *raw key bytes* of its colluders (obtained via
+    :meth:`~repro.core.integrity.KeyRing.leak`) and can therefore
+    produce any tag those principals could produce — and nothing more.
+    Tags for fabricated nodes are planted straight into the middleware's
+    attestation store, modeling attestations arriving over a compromised
+    wire alongside the payload.
+    """
+
+    name = "collude"
+
+    def __init__(
+        self,
+        principal: Principal,
+        middleware: Middleware,
+        colluders: dict[Principal, bytes],
+    ) -> None:
+        super().__init__(principal, middleware)
+        self.colluders = dict(colluders)
+
+    def _fabricate(
+        self, hops: tuple[Principal, ...], value: PlainValue
+    ) -> AnnotatedValue:
+        """A history whose hops name ``hops`` (oldest first), tags planted
+        wherever the coalition holds the hop principal's key."""
+
+        provenance = EMPTY
+        store = self.middleware.attestations
+        for hop in hops:
+            provenance = provenance.cons(OutputEvent(hop, EMPTY))
+            key = self.colluders.get(hop)
+            if key is None:
+                # no key for this hop's principal: the best available
+                # forgery is a tag under some colluder's key — invalid
+                key = next(iter(self.colluders.values()))
+            store.record(provenance, KeyRing.tag_with(key, provenance))
+        return AnnotatedValue(value, provenance)
+
+    def _signed_inject(
+        self, channel: Channel, payload: tuple[AnnotatedValue, ...]
+    ) -> bool:
+        """Enter through the authorized door, signing as a colluder."""
+
+        signer, key = next(iter(self.colluders.items()))
+        data = self.middleware.ingress_auth_data(channel, payload)
+        tag = blake2b(
+            b"payload|" + data, key=key, digest_size=TAG_SIZE
+        ).digest()
+        return self._inject(channel, payload, auth=(signer, tag))
+
+    def forge_own_history(
+        self, channel: Channel, value: PlainValue, depth: int = 2
+    ) -> bool:
+        """Fabricate a history composed purely of coalition hops.
+
+        This is the *undetectable boundary*: with symmetric keys a
+        coalition signing only its own events is indistinguishable from
+        honest operation, so with enforcement on this is accepted.
+        """
+
+        hops = tuple(self.colluders) * depth
+        payload = (self._fabricate(hops[:depth], value),)
+        self._attempt("collude_own")
+        return self._signed_inject(channel, payload)
+
+    def implicate(
+        self,
+        channel: Channel,
+        victim: Principal,
+        value: PlainValue,
+        depth: int = 2,
+    ) -> bool:
+        """Fabricate a history that names an honest ``victim`` hop.
+
+        The coalition cannot produce a valid tag for the victim-headed
+        node, so chain verification fails there and the signing colluder
+        is quarantined — the detectable side of the boundary.
+        """
+
+        hops = tuple(self.colluders)[:1] * (depth - 1) + (victim,)
+        payload = (self._fabricate(hops, value),)
+        self._attempt("collude")
+        return self._signed_inject(channel, payload)
+
+
+class GarblingAdversary(Adversary):
+    """A principal that crashes mid-send and emits garbled history."""
+
+    name = "garble"
+
+    def crash_and_garble(
+        self, channel: Channel, captured: tuple[AnnotatedValue, ...]
+    ) -> bool:
+        """Present a bit-garbled variant of a genuine payload.
+
+        Reuses the corrupt-link mutation (most recent event's polarity
+        flipped), so this is exactly what a crash-corrupted retransmit
+        would look like; the garbled node was never attested.
+        """
+
+        self._attempt("garble")
+        return self._inject(channel, _garbled(captured))
+
+
+@dataclass(frozen=True, slots=True)
+class AttackOutcome:
+    """One attack's result against one middleware."""
+
+    adversary: str
+    attack: str
+    accepted: bool
+    """The payload reached the channel (the attack *succeeded*)."""
+    detected: bool
+    """The middleware classified it as tampering (blocked + recorded)."""
+
+
+ATTACK_MIXES: dict[str, tuple[str, ...]] = {
+    "forge": ("forge",),
+    "replay": ("replay",),
+    "truncate": ("truncate",),
+    "splice": ("splice",),
+    "collude": ("collude",),
+    "garble": ("garble",),
+    "mix": ("forge", "replay", "truncate", "splice", "collude", "garble"),
+}
+"""Named attack selections for ``repro sim --adversary MIX``."""
+
+
+def _capture(
+    middleware: Middleware, honest: Principal, value: PlainValue, hops: int
+) -> AnnotatedValue:
+    """Genuine traffic for attacks to pervert: ``hops`` honest stamps."""
+
+    annotated = AnnotatedValue(value)
+    for _ in range(hops):
+        (annotated,) = middleware.stamp_output(honest, EMPTY, (annotated,))
+    return annotated
+
+
+def run_threat_suite(
+    middleware: Middleware,
+    channel: Optional[Channel] = None,
+    attacks: Optional[tuple[str, ...]] = None,
+) -> list[AttackOutcome]:
+    """Drive the attack taxonomy against ``middleware``.
+
+    Each attack uses a fresh intruder principal (so one quarantine never
+    masks the next attack as a mere ``quarantined_drop``), and detection
+    is read off the ``tamper_detected`` delta — an attack counts as
+    detected iff it was blocked *and* classified.  Returns outcomes in
+    attack order.
+    """
+
+    channel = channel if channel is not None else Channel("intrusion_target")
+    selected = attacks if attacks is not None else ATTACK_MIXES["mix"]
+    metrics = middleware.metrics
+    honest = Principal("suite_courier")
+    victim = Principal("suite_victim")
+    loot = Channel("suite_loot")
+    outcomes: list[AttackOutcome] = []
+
+    for attack in selected:
+        intruder = Principal(f"intruder_{attack}")
+        before = metrics.tamper_detected
+        if attack == "forge":
+            adversary = ForgingAdversary(intruder, middleware)
+            accepted = adversary.forge_origin(channel, victim, (loot,), depth=3)
+        elif attack == "replay":
+            adversary = ForgingAdversary(intruder, middleware)
+            captured = (_capture(middleware, honest, loot, hops=3),)
+            accepted = adversary.replay(channel, captured)
+        elif attack == "truncate":
+            adversary = TruncatingAdversary(intruder, middleware)
+            captured = (_capture(middleware, honest, loot, hops=3),)
+            accepted = adversary.truncate(channel, captured, drop=1)
+        elif attack == "splice":
+            adversary = SplicingAdversary(intruder, middleware)
+            donor = _capture(middleware, honest, loot, hops=2)
+            target = _capture(middleware, victim, loot, hops=2)
+            accepted = adversary.splice(channel, donor, target)
+        elif attack == "collude":
+            colluder = Principal("suite_turncoat")
+            adversary = CollusionAdversary(
+                intruder,
+                middleware,
+                {colluder: middleware.keyring.leak(colluder)},
+            )
+            accepted = adversary.implicate(channel, victim, loot, depth=3)
+        elif attack == "garble":
+            adversary = GarblingAdversary(intruder, middleware)
+            captured = (_capture(middleware, honest, loot, hops=3),)
+            accepted = adversary.crash_and_garble(channel, captured)
+        else:
+            raise ValueError(
+                f"unknown attack {attack!r}: expected one of "
+                f"{sorted(ATTACK_MIXES['mix'])}"
+            )
+        detected = not accepted and metrics.tamper_detected > before
+        outcomes.append(
+            AttackOutcome(adversary.name, attack, accepted, detected)
+        )
+    return outcomes

@@ -94,6 +94,51 @@ class RuntimeMetrics:
 
     forgeries_blocked: int = 0
     forgeries_accepted: int = 0
+
+    replays_blocked: int = 0
+    """Chain-valid histories presented through an unauthorized door —
+    replays of genuine provenance — rejected at ingress."""
+
+    tamper_detected: int = 0
+    """Histories whose integrity chain failed verification (forged
+    origin, truncation, splice, collusion implicating an honest
+    principal, wire corruption)."""
+
+    tamper_by_kind: dict[str, int] = field(default_factory=dict)
+    """Detections keyed by attack/fault kind (``forge``, ``truncate``,
+    ``splice``, ``collude``, ``replay``, ``garble``, ``wire``)."""
+
+    attack_attempts: dict[str, int] = field(default_factory=dict)
+    """Injection attempts keyed by adversary name — denominators for the
+    detection rate E22 gates."""
+
+    principals_quarantined: int = 0
+    """Principals cut off after a detected tampering attempt."""
+
+    quarantined_drops: int = 0
+    """Sends/injections silently dropped because the sender (or link)
+    was already quarantined."""
+
+    certificates_revoked: int = 0
+    """Static certificates invalidated by detected tampering (vetting
+    resumes for the affected runtime)."""
+
+    verify_calls: int = 0
+    """Spine verifications performed at ingress/delivery."""
+
+    verify_nodes_checked: int = 0
+    """Attestation tags actually checked — grows O(new hops), not
+    O(spine length), thanks to verdict caching."""
+
+    verify_cache_hits: int = 0
+    """Spine nodes answered from the verifier's verdict cache."""
+
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    faults_reordered: int = 0
+    faults_corrupted: int = 0
+    """Link-level fault injections actually applied (per fault kind)."""
+
     provenance_spine_lengths: MutableSequence[int] = field(default_factory=list)
     provenance_event_counts: MutableSequence[int] = field(default_factory=list)
     delivery_latencies: MutableSequence[float] = field(default_factory=list)
@@ -140,6 +185,26 @@ class RuntimeMetrics:
             self._pending_sizers.append(sizer)
             if len(self._pending_sizers) >= self.PENDING_SIZER_BOUND:
                 self._settle_bytes()
+
+    def record_attack(self, adversary: str) -> None:
+        """Count one injection attempt by the named adversary."""
+
+        self.attack_attempts[adversary] = (
+            self.attack_attempts.get(adversary, 0) + 1
+        )
+
+    def record_tamper(self, kind: str) -> None:
+        """Count one detected tampering, attributed to an attack kind."""
+
+        self.tamper_detected += 1
+        self.tamper_by_kind[kind] = self.tamper_by_kind.get(kind, 0) + 1
+
+    def record_verify(self, nodes_checked: int, cache_hits: int) -> None:
+        """Fold one verification's cost deltas into the counters."""
+
+        self.verify_calls += 1
+        self.verify_nodes_checked += nodes_checked
+        self.verify_cache_hits += cache_hits
 
     def record_rejection(self, pattern: Any) -> None:
         """Attribute a vetting rejection to the pattern that refused."""
@@ -287,6 +352,20 @@ class RuntimeMetrics:
             "branches_pruned": self.branches_pruned,
             "forgeries_blocked": self.forgeries_blocked,
             "forgeries_accepted": self.forgeries_accepted,
+            "replays_blocked": self.replays_blocked,
+            "tamper_detected": self.tamper_detected,
+            "tamper_by_kind": dict(self.tamper_by_kind),
+            "attack_attempts": dict(self.attack_attempts),
+            "principals_quarantined": self.principals_quarantined,
+            "quarantined_drops": self.quarantined_drops,
+            "certificates_revoked": self.certificates_revoked,
+            "verify_calls": self.verify_calls,
+            "verify_nodes_checked": self.verify_nodes_checked,
+            "verify_cache_hits": self.verify_cache_hits,
+            "faults_dropped": self.faults_dropped,
+            "faults_duplicated": self.faults_duplicated,
+            "faults_reordered": self.faults_reordered,
+            "faults_corrupted": self.faults_corrupted,
             "max_provenance_spine": self._max_provenance_spine,
             "provenance_values": self._count_provenance_events,
             "provenance_events_total": self._sum_provenance_events,
@@ -311,10 +390,27 @@ class RuntimeMetrics:
         "branches_pruned",
         "forgeries_blocked",
         "forgeries_accepted",
+        "replays_blocked",
+        "tamper_detected",
+        "principals_quarantined",
+        "quarantined_drops",
+        "certificates_revoked",
+        "verify_calls",
+        "verify_nodes_checked",
+        "verify_cache_hits",
+        "faults_dropped",
+        "faults_duplicated",
+        "faults_reordered",
+        "faults_corrupted",
         "provenance_values",
         "provenance_events_total",
     )
     _MERGE_MAX_KEYS = ("max_provenance_spine",)
+    _MERGE_DICT_KEYS = (
+        "rejections_by_pattern",
+        "tamper_by_kind",
+        "attack_attempts",
+    )
 
     @classmethod
     def merge(cls, *summaries: dict[str, Any]) -> dict[str, Any]:
@@ -334,7 +430,9 @@ class RuntimeMetrics:
         merged: dict[str, Any] = {key: 0 for key in cls._MERGE_SUM_KEYS}
         for key in cls._MERGE_MAX_KEYS:
             merged[key] = 0
-        rejections: dict[str, int] = {}
+        by_key: dict[str, dict[str, int]] = {
+            key: {} for key in cls._MERGE_DICT_KEYS
+        }
         for summary in summaries:
             # tolerate partial dicts (absent counter == idle counter) so
             # summaries from snapshots predating a counter still merge
@@ -343,11 +441,11 @@ class RuntimeMetrics:
             for key in cls._MERGE_MAX_KEYS:
                 if summary.get(key, 0) > merged[key]:
                     merged[key] = summary[key]
-            for pattern, count in summary.get(
-                "rejections_by_pattern", {}
-            ).items():
-                rejections[pattern] = rejections.get(pattern, 0) + count
-        merged["rejections_by_pattern"] = rejections
+            for key in cls._MERGE_DICT_KEYS:
+                bucket = by_key[key]
+                for name, count in summary.get(key, {}).items():
+                    bucket[name] = bucket.get(name, 0) + count
+        merged.update(by_key)
         merged["provenance_overhead_ratio"] = (
             round(merged["bytes_provenance"] / merged["bytes_total"], 4)
             if merged["bytes_total"]

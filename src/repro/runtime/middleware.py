@@ -32,6 +32,26 @@ and the work ratio).
 * ``inject_raw`` — the unchecked path an adversary would use; with
   integrity enforcement on (the default) unsigned injections are dropped,
   modelling the digital-signature scheme the paper appeals to.
+
+Integrity (PR 8): the signature scheme is no longer a boolean.  The
+middleware owns a :class:`~repro.core.integrity.KeyRing` and attests
+every spine node it stamps (HMAC of the node's Merkle digest under the
+head principal's key, recorded in a weak
+:class:`~repro.core.integrity.AttestationStore`), so any history can be
+re-verified later in O(new hops) via the cached
+:class:`~repro.core.integrity.SpineVerifier`.  Ingress through
+``inject_raw`` is classified — unauthenticated knock, replayed genuine
+history, or forged/tampered chain — and detected tampering degrades
+gracefully: the presenting principal is quarantined (its subsequent
+sends/injections drop silently), any static certificate is revoked so
+full vetting resumes, and every decision lands in
+:class:`RuntimeMetrics`.  ``verify_deliveries=True`` additionally
+re-verifies each payload at its rendezvous before it can match a
+receiver — the paranoid mode the E22 bench uses to price verification.
+Link-level faults (:class:`~repro.runtime.network.FaultPlan`) are
+consulted on the send path: drops/duplicates/reorders manifest in
+scheduling, and a *corrupt* fault garbles the stamped spine — which is
+exactly what the verifier then catches.
 """
 
 from __future__ import annotations
@@ -40,6 +60,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.integrity import AttestationStore, KeyRing, SpineVerifier
 from repro.core.names import Channel, NameSupply, Principal
 from repro.core.patterns import MatchAll, Pattern
 from repro.core.provenance import InputEvent, OutputEvent, Provenance
@@ -61,6 +82,32 @@ from repro.runtime.wire import (
 )
 
 __all__ = ["ReceiveBranch", "PendingReceive", "ChannelManager", "Middleware"]
+
+
+def _garbled(
+    payload: tuple[AnnotatedValue, ...],
+) -> tuple[AnnotatedValue, ...]:
+    """A *corrupt* link fault's effect on an in-memory payload.
+
+    Flips each component's most recent event between ``!`` and ``?`` —
+    the smallest history mutation a bit flip could cause.  The garbled
+    node is a fresh cons the middleware never attested, so paranoid
+    delivery verification detects it; without verification it flows
+    through silently, exactly like real corruption past a checksumless
+    transport.  ε-provenance components (erased mode) pass unchanged.
+    """
+
+    garbled = []
+    for value in payload:
+        provenance = value.provenance
+        if provenance.is_empty:
+            garbled.append(value)
+            continue
+        head = provenance.head
+        flipped = InputEvent if isinstance(head, OutputEvent) else OutputEvent
+        event = flipped(head.principal, head.channel_provenance)
+        garbled.append(value.with_provenance(provenance.tail.cons(event)))
+    return tuple(garbled)
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,6 +201,16 @@ class ChannelManager:
         return sum(1 for waiter in self._waiters if not waiter.consumed)
 
     def post(self, payload: tuple[AnnotatedValue, ...], posted_at: float) -> None:
+        middleware = self._middleware
+        if middleware.verify_deliveries and not middleware.payload_verifies(
+            payload
+        ):
+            # paranoid mode: a history that fails verification never
+            # reaches a receiver.  No quarantine — at the rendezvous the
+            # presenter is unknown (link corruption looks the same as a
+            # garbling sender), so the message is just discarded.
+            middleware.metrics.record_tamper("chain")
+            return
         self._messages.append(_StoredMessage(payload, posted_at))
         self._match()
 
@@ -271,6 +328,9 @@ class Middleware:
         wire_version: int = WIRE_V2,
         vetting: str = "bank",
         certificate: Optional[object] = None,
+        keyring: Optional[KeyRing] = None,
+        crypto: bool = True,
+        verify_deliveries: bool = False,
     ) -> None:
         if wire_version not in (WIRE_V1, WIRE_V2):
             raise ValueError(f"unknown wire version {wire_version}")
@@ -284,6 +344,16 @@ class Middleware:
         self.wire_version = wire_version
         self.vetting = vetting
         self.certificate = certificate
+        self.crypto = crypto and mode is not SemanticsMode.ERASED
+        """Attest stamped spine nodes (HMAC over Merkle digests).  Off
+        for erased runs — there is no provenance to protect — and for
+        the integrity-off arm of the E22 differential."""
+        self.verify_deliveries = verify_deliveries and self.crypto
+        """Re-verify every payload at its rendezvous (paranoid mode)."""
+        self.keyring = keyring if keyring is not None else KeyRing()
+        self.attestations = AttestationStore()
+        self.verifier = SpineVerifier(self.keyring, self.attestations)
+        self.quarantined: set[Principal] = set()
         """A :class:`~repro.analysis.static_flow.StaticCertificate` (any
         object with ``branch_action``) authorizing check elision, or
         ``None``.  Revoked (set to ``None``) the moment an unanalyzed
@@ -338,8 +408,14 @@ class Middleware:
             return payload
         event = OutputEvent(principal, channel_provenance)
         if len(payload) == 1:
-            return (payload[0].record(event),)
-        return tuple(value.record(event) for value in payload)
+            stamped = (payload[0].record(event),)
+        else:
+            stamped = tuple(value.record(event) for value in payload)
+        if self.crypto:
+            attest = self.verifier.attest_chain
+            for value in stamped:
+                attest(value.provenance)
+        return stamped
 
     def stamp_input(
         self,
@@ -353,8 +429,73 @@ class Middleware:
             return payload
         event = InputEvent(principal, channel_provenance)
         if len(payload) == 1:
-            return (payload[0].record(event),)
-        return tuple(value.record(event) for value in payload)
+            stamped = (payload[0].record(event),)
+        else:
+            stamped = tuple(value.record(event) for value in payload)
+        if self.crypto:
+            attest = self.verifier.attest_chain
+            for value in stamped:
+                attest(value.provenance)
+        return stamped
+
+    # -- integrity (the cryptographic tier) --------------------------------
+
+    def adopt(self, payload: tuple[AnnotatedValue, ...]) -> None:
+        """Attest histories the middleware itself constructed.
+
+        Deploy-time message literals (and any provenance the system text
+        annotates onto values) never pass through a stamp, yet they are
+        the trusted layer's own doing — adopting them records tags down
+        their chains so later verification treats them as genuine.
+        """
+
+        if not self.crypto:
+            return
+        attest = self.verifier.attest_chain
+        for value in payload:
+            attest(value.provenance)
+
+    def payload_verifies(self, payload: tuple[AnnotatedValue, ...]) -> bool:
+        """Verify every component's history; fold cost into metrics."""
+
+        verifier = self.verifier
+        checked = verifier.nodes_checked
+        hits = verifier.cache_hits
+        ok = True
+        for value in payload:
+            if not verifier.verify(value.provenance):
+                ok = False
+                break
+        self.metrics.record_verify(
+            verifier.nodes_checked - checked, verifier.cache_hits - hits
+        )
+        return ok
+
+    def ingress_auth_data(
+        self, channel: Channel, payload: tuple[AnnotatedValue, ...]
+    ) -> bytes:
+        """Canonical bytes a principal signs to authorize an injection."""
+
+        parts = [channel.name.encode("utf-8")]
+        for value in payload:
+            parts.append(value.provenance.digest)
+        return b"|".join(parts)
+
+    def _punish(self, offender: Optional[Principal]) -> None:
+        """Graceful degradation after detected tampering.
+
+        Quarantines the *presenting* principal (never the principal a
+        forged history claims for itself) and revokes any static
+        certificate — its verdicts assumed only analyzed traffic, so
+        full vetting resumes for everything still in flight.
+        """
+
+        if offender is not None and offender not in self.quarantined:
+            self.quarantined.add(offender)
+            self.metrics.principals_quarantined += 1
+        if self.certificate is not None:
+            self.certificate = None
+            self.metrics.certificates_revoked += 1
 
     def vet(
         self,
@@ -436,6 +577,9 @@ class Middleware:
 
         if not isinstance(channel.value, Channel):
             raise TypeError(f"cannot send on non-channel {channel.value!r}")
+        if principal in self.quarantined:
+            self.metrics.quarantined_drops += 1
+            return
         stamped = self.stamp_output(principal, channel.provenance, payload)
         router = self.router
         if router is not None and not router.is_local(channel.value):
@@ -459,13 +603,30 @@ class Middleware:
             metrics.record_send(sizes)
         else:
             metrics.record_send()
+        decision = self.network.fault_for(principal, channel.value)
+        if decision.drop:
+            metrics.faults_dropped += 1
+            return
+        if decision.corrupt:
+            metrics.faults_corrupted += 1
+            stamped = _garbled(stamped)
+        if decision.extra_delay:
+            metrics.faults_reordered += 1
         destination = self.manager(channel.value)
         posted_at = self.simulator.now
         self.network.deliver(
             lambda: destination.post(stamped, posted_at),
             sender=principal,
             channel=channel.value,
+            extra_delay=decision.extra_delay,
         )
+        if decision.duplicate:
+            metrics.faults_duplicated += 1
+            self.network.deliver(
+                lambda: destination.post(stamped, posted_at),
+                sender=principal,
+                channel=channel.value,
+            )
 
     def receive(
         self,
@@ -532,19 +693,65 @@ class Middleware:
         channel: Channel,
         payload: tuple[AnnotatedValue, ...],
         signed: bool = False,
+        sender: Optional[Principal] = None,
+        auth: Optional[tuple[Principal, bytes]] = None,
     ) -> bool:
         """The adversary's door: post a message without the send path.
 
-        With integrity enforcement (default) unsigned injections are
-        rejected — provenance cannot be forged past the middleware.
+        With integrity enforcement (default) an injection lands only
+        through an authorized door — ``signed=True`` (the operator's
+        debugging bypass) or a valid ``auth`` pair ``(principal, tag)``
+        where ``tag`` HMACs :meth:`ingress_auth_data` under that
+        principal's key.  Everything else is blocked and *classified*:
+
+        * all-ε provenance → an unauthenticated knock (counted in
+          ``forgeries_blocked`` only — not tampering, so any static
+          certificate survives);
+        * chain-valid history → a **replay** of genuine provenance
+          through the wrong door (``replays_blocked``);
+        * chain-invalid history → a **forgery** (``tamper_detected``).
+
+        Replays and forgeries are detected tampering: the presenting
+        ``sender`` is quarantined and the certificate revoked.  An
+        authorized door is still chain-verified — a colluder or garbling
+        principal signing its injection gets caught there and punished.
         Disabling enforcement models the convention-based encoding of the
         paper's introduction, where nothing stops ``b`` from claiming
         ``a`` sent the value.
         """
 
-        if self.enforce_integrity and not signed:
-            self.metrics.forgeries_blocked += 1
+        metrics = self.metrics
+        if sender is not None and sender in self.quarantined:
+            metrics.quarantined_drops += 1
             return False
+        if self.enforce_integrity:
+            authorized = signed
+            presenter = sender
+            if not authorized and auth is not None:
+                claimed, tag = auth
+                presenter = claimed if sender is None else sender
+                if claimed in self.quarantined:
+                    metrics.quarantined_drops += 1
+                    return False
+                authorized = self.keyring.verify_payload(
+                    claimed, self.ingress_auth_data(channel, payload), tag
+                )
+            if not authorized:
+                metrics.forgeries_blocked += 1
+                if self.crypto and any(
+                    not value.provenance.is_empty for value in payload
+                ):
+                    if self.payload_verifies(payload):
+                        metrics.replays_blocked += 1
+                        metrics.record_tamper("replay")
+                    else:
+                        metrics.record_tamper("forge")
+                    self._punish(presenter)
+                return False
+            if self.crypto and not self.payload_verifies(payload):
+                metrics.record_tamper("chain")
+                self._punish(presenter)
+                return False
         self.metrics.forgeries_accepted += 1
         # the injected message was never part of the analyzed system, so
         # any static certificate no longer covers what can arrive —

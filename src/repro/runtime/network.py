@@ -4,9 +4,21 @@ A deliberately small abstraction: a message takes ``base + U(0, jitter)``
 time units to reach its channel manager, sampled from the simulator's
 seeded generator — latency never depends on size, and byte accounting
 lives entirely in :class:`repro.runtime.metrics.RuntimeMetrics`
-(deferred sizer thunks).  Loss and partition are out of scope — the
-calculus' semantics assumes reliable (if arbitrarily delayed) delivery,
-and the paper's claims do not touch fault tolerance.
+(deferred sizer thunks).
+
+Delivery is reliable *by default* — the calculus' semantics assumes
+reliable (if arbitrarily delayed) delivery — but a :class:`FaultPlan`
+can be installed to exercise the integrity layer under a hostile
+substrate: per-link, seeded, deterministic **drop / duplicate / reorder
+/ corrupt** decisions.  Decisions are keyed draws (same digest scheme as
+:class:`KeyedLatencySampler`, one ordinal stream per link per fault
+kind), so a faulty run replays bit-identically under a fixed seed and
+does not perturb the latency draws of the non-faulty messages around
+it.  The injector only *decides*; applying the decision — and counting
+it in :class:`~repro.runtime.metrics.RuntimeMetrics` — is the caller's
+job (``Middleware.send`` for local links, ``ShardRouter.send_remote``
+for wire links, where *drop* is decided before the codec encodes so the
+stream stays consistent).
 
 Which *model* a message samples from may vary per link: a ``topology``
 callable maps ``(sender principal, channel)`` to the
@@ -38,7 +50,16 @@ from typing import Callable, Optional
 from repro.core.names import Channel, Principal
 from repro.runtime.simulator import Simulator
 
-__all__ = ["KeyedLatencySampler", "LatencyModel", "Network", "ZERO_LATENCY"]
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "KeyedLatencySampler",
+    "LatencyModel",
+    "Network",
+    "NO_FAULT",
+    "ZERO_LATENCY",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +122,145 @@ class KeyedLatencySampler:
         return model.base + unit * model.jitter
 
 
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Per-message fault probabilities for every link of a run.
+
+    Probabilities are independent per fault kind; ``reorder`` manifests
+    as an extra ``reorder_delay`` time units added to the affected
+    message's latency (enough to overtake later traffic on the link),
+    since the simulator itself never reorders equal-time events.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    reorder_delay: float = 5.0
+
+    _ALIASES = {
+        "drop": "drop",
+        "dup": "duplicate",
+        "duplicate": "duplicate",
+        "reorder": "reorder",
+        "corrupt": "corrupt",
+        "delay": "reorder_delay",
+        "reorder_delay": "reorder_delay",
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"drop=0.01,dup=0.02,corrupt=0.005"`` CLI specs."""
+
+        kwargs: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            field = cls._ALIASES.get(key.strip())
+            if field is None or not sep:
+                raise ValueError(
+                    f"bad fault spec {part!r}: expected key=value with key "
+                    f"in {sorted(set(cls._ALIASES))}"
+                )
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"bad fault probability in {part!r}") from None
+            if field != "reorder_delay" and not 0.0 <= value <= 1.0:
+                raise ValueError(f"fault probability out of [0,1]: {part!r}")
+            kwargs[field] = value
+        return cls(**kwargs)
+
+    @property
+    def is_quiet(self) -> bool:
+        return not (self.drop or self.duplicate or self.reorder or self.corrupt)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDecision:
+    """What the injector decided for one message on one link."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+    corrupt: bool = False
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.corrupt) and (
+            self.extra_delay == 0.0
+        )
+
+
+NO_FAULT = FaultDecision()
+
+
+class FaultInjector:
+    """Seeded, deterministic per-link fault decisions.
+
+    The ``i``-th message on a link draws one unit per fault kind from
+    ``blake2b(seed | kind | sender | channel | i)``, so the fault pattern
+    of a run is a pure function of the seed and the per-link message
+    sequence — reruns and shard-partition changes that preserve per-link
+    order reproduce it exactly.  A quiet plan draws nothing.
+    """
+
+    __slots__ = ("plan", "seed", "_ordinals")
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._ordinals: dict[tuple[str, str], int] = {}
+
+    def _unit(self, kind: str, link: tuple[str, str], ordinal: int) -> float:
+        digest = blake2b(
+            f"{self.seed}|{kind}|{link[0]}|{link[1]}|{ordinal}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def decide(
+        self,
+        sender: Optional[Principal],
+        channel: Optional[Channel],
+    ) -> FaultDecision:
+        plan = self.plan
+        if plan.is_quiet:
+            return NO_FAULT
+        link = (
+            sender.name if sender is not None else "",
+            channel.name if channel is not None else "",
+        )
+        ordinal = self._ordinals.get(link, 0)
+        self._ordinals[link] = ordinal + 1
+        drop = plan.drop > 0 and self._unit("drop", link, ordinal) < plan.drop
+        if drop:
+            # a dropped message manifests no other fault
+            return FaultDecision(drop=True)
+        duplicate = (
+            plan.duplicate > 0
+            and self._unit("dup", link, ordinal) < plan.duplicate
+        )
+        reorder = (
+            plan.reorder > 0
+            and self._unit("reorder", link, ordinal) < plan.reorder
+        )
+        corrupt = (
+            plan.corrupt > 0
+            and self._unit("corrupt", link, ordinal) < plan.corrupt
+        )
+        if not (duplicate or reorder or corrupt):
+            return NO_FAULT
+        return FaultDecision(
+            drop=False,
+            duplicate=duplicate,
+            extra_delay=plan.reorder_delay if reorder else 0.0,
+            corrupt=corrupt,
+        )
+
+
 class Network:
     """Routes messages to callbacks after a sampled per-link delay."""
 
@@ -110,12 +270,29 @@ class Network:
         latency: LatencyModel = LatencyModel(),
         topology: Optional[Topology] = None,
         sampler: Optional[KeyedLatencySampler] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.simulator = simulator
         self.latency = latency
         self.topology = topology
         self.sampler = sampler
+        self.faults = faults
         self.messages_in_flight = 0
+
+    def fault_for(
+        self,
+        sender: Optional[Principal] = None,
+        channel: Optional[Channel] = None,
+    ) -> FaultDecision:
+        """The injector's decision for the next message on this link.
+
+        Consumes one per-link ordinal; call exactly once per send.
+        Returns :data:`NO_FAULT` when no injector is installed.
+        """
+
+        if self.faults is None:
+            return NO_FAULT
+        return self.faults.decide(sender, channel)
 
     def latency_for(
         self,
@@ -150,8 +327,13 @@ class Network:
         callback: Callable[[], None],
         sender: Optional[Principal] = None,
         channel: Optional[Channel] = None,
+        extra_delay: float = 0.0,
     ) -> None:
         """Schedule ``callback`` after the link's latency sample.
+
+        ``extra_delay`` is added on top of the sampled latency — the
+        fault injector's *reorder* manifestation (the draw itself stays
+        untouched so surrounding messages keep their latencies).
 
         The in-flight counter is balanced in a ``finally``: a callback
         that raises (middleware vetting is allowed to throw on hostile
@@ -169,7 +351,7 @@ class Network:
 
         model = self.latency_for(sender, channel)
         self.simulator.schedule(
-            self.sample_latency(model, sender, channel), arrive
+            self.sample_latency(model, sender, channel) + extra_delay, arrive
         )
 
     def deliver_at(self, callback: Callable[[], None], time: float) -> None:

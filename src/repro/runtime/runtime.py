@@ -19,8 +19,11 @@ from repro.core.names import Principal
 from repro.core.semantics import SemanticsMode
 from repro.core.system import Located, Message, System
 from repro.runtime.metrics import RuntimeMetrics
+from repro.core.integrity import KeyRing
 from repro.runtime.middleware import Middleware
 from repro.runtime.network import (
+    FaultInjector,
+    FaultPlan,
     KeyedLatencySampler,
     LatencyModel,
     Network,
@@ -67,12 +70,23 @@ class DistributedRuntime:
         batch_limit: Optional[int] = None,
         sequence_source: Optional[SequenceSource] = None,
         latency_sampler: Optional[KeyedLatencySampler] = None,
+        crypto: bool = True,
+        verify_deliveries: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        keyring: Optional[KeyRing] = None,
     ) -> None:
         self.simulator = Simulator(
             seed, scheduler=scheduler, sequence_source=sequence_source
         )
+        faults = None
+        if fault_plan is not None and not fault_plan.is_quiet:
+            faults = FaultInjector(fault_plan, seed)
         self.network = Network(
-            self.simulator, latency, topology=topology, sampler=latency_sampler
+            self.simulator,
+            latency,
+            topology=topology,
+            sampler=latency_sampler,
+            faults=faults,
         )
         self.metrics = RuntimeMetrics(
             detailed=detailed_metrics, retain=metrics_retention
@@ -86,6 +100,9 @@ class DistributedRuntime:
             wire_version=wire_version,
             vetting=vetting,
             certificate=certificate,
+            keyring=keyring,
+            crypto=crypto,
+            verify_deliveries=verify_deliveries,
         )
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay
@@ -141,6 +158,10 @@ class DistributedRuntime:
                 if group:
                     self.node(group_principal).spawn_group(group)
                     group_principal, group = None, []
+                # deploy-time message literals carry histories the
+                # middleware itself vouches for: attest them so chain
+                # verification accepts what enforcement already did
+                self.middleware.adopt(component.payload)
                 self.middleware.manager(component.channel).post(
                     component.payload, self.simulator.now
                 )

@@ -67,12 +67,17 @@ from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.core.congruence import NormalForm, all_system_names, normalize
-from repro.core.errors import SimulationError
+from repro.core.errors import SimulationError, WireFormatError
 from repro.core.names import Channel, NameSupply, Principal
 from repro.core.semantics import SemanticsMode
 from repro.core.system import Located, Message, System
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
-from repro.runtime.network import KeyedLatencySampler, LatencyModel, Topology
+from repro.runtime.network import (
+    FaultPlan,
+    KeyedLatencySampler,
+    LatencyModel,
+    Topology,
+)
 from repro.runtime.runtime import DistributedRuntime
 from repro.runtime.simulator import SequenceSource
 from repro.runtime.wire import Codec, encode_plain, encode_varint
@@ -157,11 +162,17 @@ class Partitioner:
 class WireEnvelope:
     """One cross-shard message as it travels between simulators.
 
-    ``data`` is the payload in v2 back-reference bytes *relative to the
-    link codec's history* — decoding requires every earlier envelope of
-    the same ``(source, target)`` link first (``seq`` orders them).
-    ``lamport`` is the sending shard's logical clock, used to tie-break
-    equal arrival instants causally at injection.
+    ``data`` is a digest-sealed *frame* (:meth:`Codec.encode_frame`) in
+    v2 back-reference bytes *relative to the link codec's history* —
+    decoding requires every earlier envelope of the same ``(source,
+    target)`` link first (``seq`` orders them, and the receiver enforces
+    it: a repeated ``seq`` is a wire replay, a gap is truncation, and
+    either retires the link).  ``tags`` carries the attestation tag of
+    each spine node the frame ships for the first time, positionally
+    aligned with the decoder's construction order, so the receiving
+    shard can re-verify the whole history on ingest.  ``lamport`` is the
+    sending shard's logical clock, used to tie-break equal arrival
+    instants causally at injection.
     """
 
     source: int
@@ -172,6 +183,7 @@ class WireEnvelope:
     send_time: float
     arrival_time: float
     lamport: int
+    tags: tuple = ()
 
 
 class ShardRouter:
@@ -204,6 +216,8 @@ class ShardRouter:
         self.cross_shard_sent = 0
         self.cross_shard_received = 0
         self._link_seq: dict[int, int] = {}
+        self._expected_seq: dict[int, int] = {}
+        self._poisoned: set[int] = set()
         self._encoders: dict[int, Codec] = {}
         self._decoders: dict[int, Codec] = {}
         self._outbox: list[WireEnvelope] = []
@@ -232,10 +246,20 @@ class ShardRouter:
         channel: Channel,
         payload: tuple,
     ) -> None:
-        """Serialize, stamp, and ship one cross-shard send."""
+        """Serialize, stamp, and ship one cross-shard send.
+
+        Fault injection happens here, not in the transport: *drop* is
+        decided **before** the frame is encoded — a dropped message must
+        never advance the link codec's shared history, or every later
+        frame would desync — and *corrupt* flips one frame byte after
+        encoding, which the receiver's digest check is guaranteed to
+        catch (the link is then poisoned, the realistic fate of a
+        corrupted resumed stream).
+        """
 
         runtime = self.runtime
         network = runtime.network
+        metrics = runtime.metrics
         model = network.latency_for(principal, channel)
         delay = network.sample_latency(model, principal, channel)
         if self.hub is None and (
@@ -248,16 +272,34 @@ class ShardRouter:
                 f"unsound — declare a truthful lookahead (<= every "
                 f"cross-shard link's minimum latency)"
             )
+        decision = network.fault_for(principal, channel)
+        if decision.drop:
+            metrics.record_send()
+            metrics.faults_dropped += 1
+            return
         home = self.partitioner.home_of(channel)
         codec = self._encoders.get(home)
         if codec is None:
             codec = self._encoders[home] = Codec()
-        data = codec.encode_payload(payload)
-        metrics = runtime.metrics
+        data, new_nodes = codec.encode_frame(payload)
+        middleware = runtime.middleware
+        tags: tuple = ()
+        if middleware.crypto:
+            store = middleware.attestations
+            tags = tuple(store.tag(node) for node in new_nodes)
+        if decision.corrupt:
+            metrics.faults_corrupted += 1
+            flip = bytearray(data)
+            flip[len(flip) // 2] ^= 0x01
+            data = bytes(flip)
+        if decision.extra_delay:
+            metrics.faults_reordered += 1
+            delay += decision.extra_delay
         if metrics.detailed:
             # honest accounting: these are the bytes that actually
             # crossed the link, back-references included — resumed
-            # tables make repeat provenance nearly free
+            # tables make repeat provenance nearly free; the frame
+            # seal (length prefix + digest) counts as metadata
             plain_bytes = len(encode_varint(len(payload))) + sum(
                 len(encode_plain(value.value)) for value in payload
             )
@@ -278,33 +320,93 @@ class ShardRouter:
             send_time=send_time,
             arrival_time=send_time + delay,
             lamport=self.lamport,
+            tags=tags,
         )
         self.cross_shard_sent += 1
-        if self.hub is not None:
-            self.hub.shard(home).middleware.router.ingest([envelope])
-        else:
-            self._outbox.append(envelope)
+        copies = 2 if decision.duplicate else 1
+        if decision.duplicate:
+            metrics.faults_duplicated += 1
+        for _ in range(copies):
+            if self.hub is not None:
+                self.hub.shard(home).middleware.router.ingest([envelope])
+            else:
+                self._outbox.append(envelope)
 
     def drain_outbox(self) -> list[WireEnvelope]:
         outgoing, self._outbox = self._outbox, []
         return outgoing
 
+    def _poison_link(self, source: int, reason: str) -> None:
+        """Retire a link whose stream can no longer be trusted.
+
+        A failed frame (bad digest, bad chain, seq gap) may have already
+        polluted the resumed codec tables, so everything after it on the
+        same link is undecodable anyway — the honest response is to stop
+        listening.  Honest links never trip this: drops are decided
+        before encoding, so even a lossy fault plan keeps seq dense.
+        """
+
+        if source not in self._poisoned:
+            self._poisoned.add(source)
+            self.runtime.metrics.record_tamper("wire")
+            self.runtime.metrics.principals_quarantined += 1
+
     def ingest(self, envelopes: list[WireEnvelope]) -> None:
-        """Decode a batch of arrivals and schedule their deliveries.
+        """Decode, verify, and schedule a batch of arrivals.
 
         Two passes: decoding follows per-link ``seq`` order (the codec
         tables are a shared history — frames only make sense in encode
         order), while scheduling follows ``(arrival, lamport, link,
         seq)`` so simultaneous arrivals from different links enqueue in
         a deterministic, causally consistent order.
+
+        This is the trust boundary of the mesh: each frame's digest seal
+        is checked (corruption → link poisoned), repeated ``seq``\\ s are
+        blocked as wire replays, attestation tags are recorded for the
+        frame's new spine nodes, and — when crypto is on — every
+        payload's whole history is re-verified (O(new hops) via the
+        verdict cache) before it may rendezvous.
         """
 
+        middleware = self.runtime.middleware
+        metrics = self.runtime.metrics
         decoded: list[tuple[WireEnvelope, tuple]] = []
         for envelope in sorted(envelopes, key=lambda e: (e.source, e.seq)):
-            codec = self._decoders.get(envelope.source)
+            source = envelope.source
+            if source in self._poisoned:
+                metrics.quarantined_drops += 1
+                continue
+            expected = self._expected_seq.get(source, 0)
+            if envelope.seq < expected:
+                # an exact repeat of history the link already carried:
+                # decoding it again would desync the stream — block it
+                metrics.replays_blocked += 1
+                metrics.record_tamper("replay")
+                continue
+            if envelope.seq > expected:
+                self._poison_link(source, "sequence gap")
+                continue
+            codec = self._decoders.get(source)
             if codec is None:
-                codec = self._decoders[envelope.source] = Codec()
-            payload, _ = codec.decode_payload(envelope.data)
+                codec = self._decoders[source] = Codec()
+            try:
+                payload, _, new_nodes = codec.decode_frame(envelope.data)
+            except WireFormatError:
+                self._poison_link(source, "frame rejected")
+                continue
+            self._expected_seq[source] = expected + 1
+            if middleware.crypto:
+                tags = envelope.tags
+                if len(tags) != len(new_nodes):
+                    self._poison_link(source, "attestation mismatch")
+                    continue
+                store = middleware.attestations
+                for node, tag in zip(new_nodes, tags):
+                    if tag is not None:
+                        store.record(node, tag)
+                if not middleware.payload_verifies(payload):
+                    self._poison_link(source, "chain verification failed")
+                    continue
             if self.lamport <= envelope.lamport:
                 self.lamport = envelope.lamport + 1
             decoded.append((envelope, payload))
@@ -372,6 +474,10 @@ def _deploy_partitioned(
             group_principal = None
             runtime = shard_lookup(partitioner.home_of(component.channel))
             if runtime is not None:
+                # deploy-time message literals are the middleware's own
+                # construction: adopt (attest) their histories so
+                # integrity verification treats them as genuine
+                runtime.middleware.adopt(component.payload)
                 runtime.middleware.manager(component.channel).post(
                     component.payload, runtime.simulator.now
                 )
@@ -413,6 +519,9 @@ class _ShardSpec:
     detailed_metrics: bool
     metrics_retention: Optional[int]
     batch_limit: Optional[int]
+    crypto: bool
+    verify_deliveries: bool
+    fault_plan: Optional[FaultPlan]
     collect_trace: bool
 
 
@@ -443,6 +552,9 @@ def _build_worker_shard(spec: _ShardSpec):
         detailed_metrics=spec.detailed_metrics,
         metrics_retention=spec.metrics_retention,
         batch_limit=spec.batch_limit,
+        crypto=spec.crypto,
+        verify_deliveries=spec.verify_deliveries,
+        fault_plan=spec.fault_plan,
         latency_sampler=KeyedLatencySampler(spec.seed),
     )
     router = ShardRouter(
@@ -565,6 +677,9 @@ class ShardedRuntime:
         detailed_metrics: bool = True,
         metrics_retention: Optional[int] = None,
         batch_limit: Optional[int] = None,
+        crypto: bool = True,
+        verify_deliveries: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
         start_method: Optional[str] = None,
     ) -> None:
         if shards < 1:
@@ -605,6 +720,9 @@ class ShardedRuntime:
             detailed_metrics=detailed_metrics,
             metrics_retention=metrics_retention,
             batch_limit=batch_limit,
+            crypto=crypto,
+            verify_deliveries=verify_deliveries,
+            fault_plan=fault_plan,
         )
         self._collect_trace = metrics_retention != 0
         self._shards: list[DistributedRuntime] = []

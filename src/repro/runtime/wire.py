@@ -52,13 +52,40 @@ The codec is total on well-formed inputs and raises
 :class:`~repro.core.errors.WireFormatError` on malformed bytes (including
 hostile length/count fields claiming more items than the remaining bytes
 could possibly hold); encode/decode round-trips are property-tested.
+Hostile-input contract: *every* decode failure — truncated fields, bad
+tags, invalid names, out-of-range back-references, nesting past
+``MAX_NESTING`` — surfaces as a ``WireFormatError`` carrying the byte
+offset where decoding stopped, never a leaked ``KeyError`` /
+``IndexError`` / ``ValueError`` / ``RecursionError``
+(``tests/test_wire_hostile.py`` fuzzes bit-flipped v2 streams for this).
+
+Digested frames: :meth:`Codec.encode_frame` wraps a streamed payload2 in
+a length prefix plus a 16-byte blake2b over the frame bytes *and* the
+Merkle digests of every value's provenance
+(:attr:`repro.core.provenance.Provenance.digest`), so
+:meth:`Codec.decode_frame` detects any corruption in flight — of the
+plain values, the provenance encoding, or the digest itself — before the
+payload reaches a channel manager.  Both frame calls also report the
+spine nodes the frame newly registered/constructed, in matching order
+(the encoder registers post-order, exactly the order the decoder cons's
+— the id-agreement invariant cross-shard links already rely on), which
+is how attestation tags travel with their nodes between shards.
 """
 
 from __future__ import annotations
 
+from hashlib import blake2b
+
 from repro.core.errors import WireFormatError
 from repro.core.names import Channel, PlainValue, Principal
-from repro.core.provenance import EMPTY, Event, InputEvent, OutputEvent, Provenance
+from repro.core.provenance import (
+    DIGEST_SIZE,
+    EMPTY,
+    Event,
+    InputEvent,
+    OutputEvent,
+    Provenance,
+)
 from repro.core.values import AnnotatedValue
 
 __all__ = [
@@ -103,6 +130,16 @@ WIRE_V2 = 2
 _MIN_EVENT_BYTES = 3
 _MIN_VALUE_BYTES = 3
 
+MAX_NESTING = 700
+"""Deepest channel-provenance nesting the decoders will follow.
+
+Decoding recurses once per nesting level; hostile input could otherwise
+drive the interpreter into ``RecursionError`` (an unstructured crash
+mid-decode) with a few hundred bytes of ``cons(event(cons(...)))``
+prefixes.  Honest traffic nests orders of magnitude shallower — spine
+*length* is unbounded and decoded iteratively; only nesting is capped.
+"""
+
 
 def encode_varint(value: int) -> bytes:
     """Unsigned LEB128."""
@@ -131,21 +168,22 @@ def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
 
     result = 0
     shift = 0
+    start = offset
     while True:
         if offset >= len(data):
-            raise WireFormatError("truncated varint")
+            raise WireFormatError("truncated varint", start)
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
             if byte == 0 and shift > 0:
                 raise WireFormatError(
-                    "non-canonical varint (overlong encoding)"
+                    "non-canonical varint (overlong encoding)", start
                 )
             return result, offset
         shift += 7
         if shift > 63:
-            raise WireFormatError("varint too long")
+            raise WireFormatError("varint too long", start)
 
 
 def _encode_name(name: str) -> bytes:
@@ -157,11 +195,22 @@ def _decode_name(data: bytes, offset: int) -> tuple[str, int]:
     length, offset = decode_varint(data, offset)
     end = offset + length
     if end > len(data):
-        raise WireFormatError("truncated name")
+        raise WireFormatError("truncated name", offset)
     try:
         return data[offset:end].decode("utf-8"), end
     except UnicodeDecodeError as error:
-        raise WireFormatError(f"bad utf-8 in name: {error}") from error
+        raise WireFormatError(f"bad utf-8 in name: {error}", offset) from error
+
+
+def _principal_at(name: str, offset: int) -> Principal:
+    """Build a principal from decoded bytes, mapping bad names to wire
+    errors (``Principal`` rejects non-identifier spellings with a
+    ``ValueError`` that must not leak out of a decoder)."""
+
+    try:
+        return Principal(name)
+    except ValueError as error:
+        raise WireFormatError(f"invalid principal name: {error}", offset) from error
 
 
 def encode_plain(value: PlainValue) -> bytes:
@@ -174,17 +223,21 @@ def encode_plain(value: PlainValue) -> bytes:
 
 def decode_plain(data: bytes, offset: int) -> tuple[PlainValue, int]:
     if offset >= len(data):
-        raise WireFormatError("truncated plain value")
+        raise WireFormatError("truncated plain value", offset)
     tag = data[offset]
     # Validate the tag *before* decoding the name: on malformed input the
     # error should say "unknown tag", not whatever decoding the following
     # garbage as a length-prefixed name happens to trip over first.
     if tag not in (_TAG_CHANNEL, _TAG_PRINCIPAL):
-        raise WireFormatError(f"unknown plain-value tag 0x{tag:02x}")
-    name, offset = _decode_name(data, offset + 1)
-    if tag == _TAG_CHANNEL:
-        return Channel(name), offset
-    return Principal(name), offset
+        raise WireFormatError(f"unknown plain-value tag 0x{tag:02x}", offset)
+    start = offset + 1
+    name, offset = _decode_name(data, start)
+    try:
+        if tag == _TAG_CHANNEL:
+            return Channel(name), offset
+        return Principal(name), offset
+    except ValueError as error:
+        raise WireFormatError(f"invalid name: {error}", start) from error
 
 
 def encode_provenance(provenance: Provenance) -> bytes:
@@ -208,31 +261,41 @@ def _encode_event(event: Event) -> bytes:
     )
 
 
-def decode_provenance(data: bytes, offset: int) -> tuple[Provenance, int]:
+def decode_provenance(
+    data: bytes, offset: int, _depth: int = 0
+) -> tuple[Provenance, int]:
     count, offset = decode_varint(data, offset)
     if count > (len(data) - offset) // _MIN_EVENT_BYTES:
         raise WireFormatError(
             f"truncated provenance: {count} events claimed but only "
-            f"{len(data) - offset} bytes remain"
+            f"{len(data) - offset} bytes remain",
+            offset,
         )
     events = []
     for _ in range(count):
-        event, offset = _decode_event(data, offset)
+        event, offset = _decode_event(data, offset, _depth)
         events.append(event)
     return Provenance(tuple(events)), offset
 
 
-def _decode_event(data: bytes, offset: int) -> tuple[Event, int]:
+def _decode_event(
+    data: bytes, offset: int, depth: int = 0
+) -> tuple[Event, int]:
     if offset >= len(data):
-        raise WireFormatError("truncated event")
+        raise WireFormatError("truncated event", offset)
+    if depth >= MAX_NESTING:
+        raise WireFormatError(
+            f"channel provenance nested deeper than {MAX_NESTING}", offset
+        )
     tag = data[offset]
     if tag not in (_TAG_OUTPUT, _TAG_INPUT):
-        raise WireFormatError(f"unknown event tag 0x{tag:02x}")
-    name, offset = _decode_name(data, offset + 1)
-    nested, offset = decode_provenance(data, offset)
+        raise WireFormatError(f"unknown event tag 0x{tag:02x}", offset)
+    start = offset + 1
+    name, offset = _decode_name(data, start)
+    nested, offset = decode_provenance(data, offset, depth + 1)
     if tag == _TAG_OUTPUT:
-        return OutputEvent(Principal(name), nested), offset
-    return InputEvent(Principal(name), nested), offset
+        return OutputEvent(_principal_at(name, start), nested), offset
+    return InputEvent(_principal_at(name, start), nested), offset
 
 
 def encode_value(value: AnnotatedValue) -> bytes:
@@ -257,7 +320,8 @@ def decode_payload(data: bytes, offset: int = 0) -> tuple[tuple[AnnotatedValue, 
     if count > (len(data) - offset) // _MIN_VALUE_BYTES:
         raise WireFormatError(
             f"truncated payload: {count} values claimed but only "
-            f"{len(data) - offset} bytes remain"
+            f"{len(data) - offset} bytes remain",
+            offset,
         )
     values = []
     for _ in range(count):
@@ -332,17 +396,19 @@ class _V2Encoder:
 class _V2Decoder:
     """Rebuilds the DAG; aliases decode to identical interned nodes."""
 
-    __slots__ = ("_spines", "_events")
+    __slots__ = ("_spines", "_events", "_depth")
 
     def __init__(self) -> None:
         self._spines: list[Provenance] = []
         self._events: list[Event] = []
+        self._depth = 0
 
     def decode_provenance(
         self, data: bytes, offset: int
     ) -> tuple[Provenance, int]:
         events: list[Event] = []
         while True:
+            start = offset
             tag, offset = decode_varint(data, offset)
             if tag == _V2_EMPTY:
                 node = EMPTY
@@ -351,7 +417,9 @@ class _V2Decoder:
                 index = tag - _V2_REF_BASE
                 if index >= len(self._spines):
                     raise WireFormatError(
-                        f"provenance back-reference #{index} out of range"
+                        f"provenance back-reference #{index} out of range "
+                        f"(table holds {len(self._spines)})",
+                        start,
                     )
                 node = self._spines[index]
                 break
@@ -363,20 +431,31 @@ class _V2Decoder:
         return node, offset
 
     def _decode_event(self, data: bytes, offset: int) -> tuple[Event, int]:
+        start = offset
         tag, offset = decode_varint(data, offset)
         if tag >= _V2_REF_BASE:
             index = tag - _V2_REF_BASE
             if index >= len(self._events):
                 raise WireFormatError(
-                    f"event back-reference #{index} out of range"
+                    f"event back-reference #{index} out of range "
+                    f"(table holds {len(self._events)})",
+                    start,
                 )
             return self._events[index], offset
         if tag not in (_V2_OUTPUT, _V2_INPUT):
-            raise WireFormatError(f"unknown v2 event tag {tag}")
+            raise WireFormatError(f"unknown v2 event tag {tag}", start)
         name, offset = _decode_name(data, offset)
-        nested, offset = self.decode_provenance(data, offset)
+        if self._depth >= MAX_NESTING:
+            raise WireFormatError(
+                f"channel provenance nested deeper than {MAX_NESTING}", start
+            )
+        self._depth += 1
+        try:
+            nested, offset = self.decode_provenance(data, offset)
+        finally:
+            self._depth -= 1
         constructor = OutputEvent if tag == _V2_OUTPUT else InputEvent
-        event = constructor(Principal(name), nested)
+        event = constructor(_principal_at(name, start), nested)
         self._events.append(event)
         return event, offset
 
@@ -413,7 +492,8 @@ def decode_payload_v2(
     if count > (len(data) - offset) // _MIN_VALUE_BYTES:
         raise WireFormatError(
             f"truncated payload: {count} values claimed but only "
-            f"{len(data) - offset} bytes remain"
+            f"{len(data) - offset} bytes remain",
+            offset,
         )
     decoder = _V2Decoder()
     values = []
@@ -507,7 +587,8 @@ class Codec:
         if count > (len(data) - offset) // _MIN_VALUE_BYTES:
             raise WireFormatError(
                 f"truncated payload: {count} values claimed but only "
-                f"{len(data) - offset} bytes remain"
+                f"{len(data) - offset} bytes remain",
+                offset,
             )
         decoder = self._decoder
         values = []
@@ -516,6 +597,82 @@ class Codec:
             provenance, offset = decoder.decode_provenance(data, offset)
             values.append(AnnotatedValue(plain_value, provenance))
         return tuple(values), offset
+
+    # -- digested frames (cross-shard transport) --------------------------
+
+    def encode_frame(
+        self, payload: tuple[AnnotatedValue, ...]
+    ) -> tuple[bytes, tuple[Provenance, ...]]:
+        """One length-prefixed, digest-sealed payload2 frame.
+
+        Returns ``(frame bytes, newly registered spine nodes)``; the
+        node list is in registration order — identical to the order the
+        peer's :meth:`decode_frame` will construct them, so per-node
+        metadata (attestation tags) can travel positionally.
+        """
+
+        registered = len(self._encoder._spine_ids)
+        body = self.encode_payload(payload)
+        new_nodes = tuple(self._encoder._spine_ids)[registered:]
+        return (
+            encode_varint(len(body)) + body + _frame_digest(body, payload),
+            new_nodes,
+        )
+
+    def decode_frame(
+        self, data: bytes, offset: int = 0
+    ) -> tuple[tuple[AnnotatedValue, ...], int, tuple[Provenance, ...]]:
+        """Decode and digest-check one frame from :meth:`encode_frame`.
+
+        Raises :class:`WireFormatError` on any corruption — in the body
+        (either the decode fails outright or the recomputed digest
+        mismatches) or in the digest itself.  A streaming codec whose
+        frame fails this check is poisoned: the failed decode may have
+        polluted the shared back-reference tables, so the caller must
+        retire the link (the shard router quarantines it) rather than
+        decode further frames.
+        """
+
+        length, offset = decode_varint(data, offset)
+        body_end = offset + length
+        if body_end + DIGEST_SIZE > len(data):
+            raise WireFormatError(
+                f"truncated frame: {length} body bytes + digest claimed "
+                f"but only {len(data) - offset} remain",
+                offset,
+            )
+        body = data[offset:body_end]
+        shipped = data[body_end:body_end + DIGEST_SIZE]
+        constructed = len(self._decoder._spines)
+        payload, consumed = self.decode_payload(body)
+        if consumed != length:
+            raise WireFormatError(
+                f"{length - consumed} trailing bytes inside frame body",
+                offset + consumed,
+            )
+        if _frame_digest(body, payload) != shipped:
+            raise WireFormatError("frame digest mismatch", body_end)
+        new_nodes = tuple(self._decoder._spines[constructed:])
+        return payload, body_end + DIGEST_SIZE, new_nodes
+
+
+def _frame_digest(
+    body: bytes, payload: tuple[AnnotatedValue, ...]
+) -> bytes:
+    """Seal of a frame: binds the raw bytes *and* the Merkle digests.
+
+    The byte half catches transport corruption anywhere in the frame
+    (including the plain values, which the Merkle chain does not cover);
+    the digest half commits the sender's *structural* view of every
+    history, so a decode that somehow diverges from the encoder's DAG
+    (desynced back-reference tables) is also caught.
+    """
+
+    hasher = blake2b(b"repro.frame|", digest_size=DIGEST_SIZE)
+    hasher.update(body)
+    for value in payload:
+        hasher.update(value.provenance.digest)
+    return hasher.digest()
 
 
 # ---------------------------------------------------------------------------
@@ -539,16 +696,16 @@ def decode_message(data: bytes) -> tuple[AnnotatedValue, ...]:
     """Decode a version-enveloped payload, rejecting trailing garbage."""
 
     if not data:
-        raise WireFormatError("empty message")
+        raise WireFormatError("empty message", 0)
     version = data[0]
     if version == WIRE_V1:
         payload, offset = decode_payload(data, 1)
     elif version == WIRE_V2:
         payload, offset = decode_payload_v2(data, 1)
     else:
-        raise WireFormatError(f"unknown wire version {version}")
+        raise WireFormatError(f"unknown wire version {version}", 0)
     if offset != len(data):
         raise WireFormatError(
-            f"{len(data) - offset} trailing bytes after payload"
+            f"{len(data) - offset} trailing bytes after payload", offset
         )
     return payload

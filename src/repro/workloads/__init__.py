@@ -1,5 +1,9 @@
 """Workload generators: paper examples, topology sweeps, random systems."""
 
+from repro.workloads.adversarial import (
+    AdversarialWorkload,
+    relay_gauntlet,
+)
 from repro.workloads.competition import (
     CompetitionWorkload,
     all_contestants_served,

@@ -1,0 +1,85 @@
+"""Adversarial workloads: honest traffic for attacks to ride against.
+
+The E22 benchmark (``benchmarks/bench_adversary.py``) needs two things
+from a workload: *deep spines* — so the amortized cost of verifying at
+every hop is measurable against chain length — and a *stable delivered
+trace* — so the integrity-on and integrity-off arms can be compared
+bit-for-bit when no adversary acts.
+
+:func:`relay_gauntlet` provides both: ``lanes`` independent relay chains
+of ``hops`` intermediaries each.  At hop ``i`` a payload's spine carries
+``2i + 1`` events, so a run's total verification load under
+``verify_deliveries=True`` grows quadratically in ``hops`` for a naive
+re-walk but stays linear for the cached
+:class:`~repro.core.integrity.SpineVerifier` — the transition the bench
+gates.  Lanes share no channels, so the workload partitions cleanly
+across shards for the ``--shards 2`` differential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import ch, inp, located, out, pr, sys_par, var
+from repro.core.names import Channel, Principal
+from repro.core.system import System
+
+__all__ = ["AdversarialWorkload", "relay_gauntlet"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdversarialWorkload:
+    """A relay gauntlet plus the coordinates attacks aim at."""
+
+    system: System
+    hops: int
+    lanes: int
+    entry: Channel
+    """The first-hop channel of lane 0 — where injected payloads would
+    enter the honest pipeline, hence the suite's attack target."""
+    victim: Principal
+    """Lane 0's producer — the principal forged histories implicate."""
+
+    @property
+    def expected_deliveries(self) -> int:
+        """Hop receives plus the final sink receive, per lane."""
+
+        return self.lanes * (self.hops + 1)
+
+
+def relay_gauntlet(hops: int, lanes: int = 1) -> AdversarialWorkload:
+    """``lanes`` disjoint chains, each ``src → relay×hops → sink``.
+
+    Lane ``l``: ``src_l[g_l_0⟨loot_l⟩] ‖ r_l_1[g_l_0(x).g_l_1⟨x⟩] ‖ …
+    ‖ sink_l[g_l_hops(x).0]``.  Delivered values in lane ``l`` end with
+    a spine of ``2·hops + 2`` events.
+    """
+
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    if lanes < 1:
+        raise ValueError("lanes must be positive")
+    components = []
+    for lane in range(lanes):
+        producer = pr(f"src_{lane}")
+        payload = ch(f"loot_{lane}")
+        channels = [ch(f"g_{lane}_{i}") for i in range(hops + 1)]
+        x = var("x")
+        components.append(located(producer, out(channels[0], payload)))
+        for index in range(hops):
+            components.append(
+                located(
+                    pr(f"r_{lane}_{index + 1}"),
+                    inp(channels[index], x, body=out(channels[index + 1], x)),
+                )
+            )
+        components.append(
+            located(pr(f"sink_{lane}"), inp(channels[-1], x))
+        )
+    return AdversarialWorkload(
+        system=sys_par(*components),
+        hops=hops,
+        lanes=lanes,
+        entry=Channel("g_0_0"),
+        victim=Principal("src_0"),
+    )

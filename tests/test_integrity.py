@@ -1,0 +1,286 @@
+"""The cryptographic integrity layer: Merkle chain, HMAC attestation,
+O(new hops) verification, and the integrity-on/off differential."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import provenances
+from repro.core.builder import ch, pr
+from repro.core.integrity import (
+    TAG_SIZE,
+    AttestationStore,
+    KeyRing,
+    SpineVerifier,
+)
+from repro.core.provenance import (
+    DIGEST_SIZE,
+    EMPTY,
+    InputEvent,
+    OutputEvent,
+    Provenance,
+)
+from repro.core.values import AnnotatedValue
+from repro.runtime import DistributedRuntime, ShardedRuntime
+from repro.workloads import relay_gauntlet
+
+A, B, C = pr("a"), pr("b"), pr("c")
+V = ch("v")
+
+
+def chain(*principals) -> Provenance:
+    provenance = EMPTY
+    for principal in principals:
+        provenance = provenance.cons(OutputEvent(principal, EMPTY))
+    return provenance
+
+
+def fresh_verifier() -> SpineVerifier:
+    ring = KeyRing()
+    return SpineVerifier(ring, AttestationStore())
+
+
+class TestMerkleChain:
+    def test_digests_are_fixed_size(self):
+        assert len(EMPTY.digest) == DIGEST_SIZE
+        assert len(chain(A, B).digest) == DIGEST_SIZE
+
+    def test_digest_is_interned_with_the_node(self):
+        assert chain(A, B).digest == chain(A, B).digest
+        assert chain(A, B) is chain(A, B)
+
+    def test_digest_commits_to_every_level(self):
+        assert chain(A).digest != chain(B).digest
+        assert chain(A, B).digest != chain(B, A).digest
+        # polarity matters
+        flipped = EMPTY.cons(InputEvent(A, EMPTY))
+        assert flipped.digest != chain(A).digest
+        # nested channel provenance matters
+        nested = EMPTY.cons(OutputEvent(A, chain(B)))
+        assert nested.digest != chain(A).digest
+
+    def test_distinct_histories_distinct_digests_bulk(self):
+        principals = [pr(f"q{i}") for i in range(8)]
+        digests = set()
+        provenance = EMPTY
+        for principal in principals:
+            provenance = provenance.cons(OutputEvent(principal, EMPTY))
+            digests.add(provenance.digest)
+        assert len(digests) == len(principals)
+
+
+class TestKeyRing:
+    def test_key_derivation_is_deterministic_across_rings(self):
+        assert KeyRing().key_of(A) == KeyRing().key_of(A)
+        assert KeyRing().key_of(A) != KeyRing().key_of(B)
+        assert KeyRing(b"other").key_of(A) != KeyRing().key_of(A)
+
+    def test_attest_and_verify_roundtrip(self):
+        ring = KeyRing()
+        node = chain(A, B)
+        tag = ring.attest(node)
+        assert len(tag) == TAG_SIZE
+        assert ring.verify_tag(node, tag)
+        assert not ring.verify_tag(node, bytes(TAG_SIZE))
+        assert not ring.verify_tag(chain(A, C), tag)
+
+    def test_leaked_key_forges_only_its_principals_tags(self):
+        ring = KeyRing()
+        leaked = ring.leak(B)
+        own = chain(A, B)  # head names b
+        assert ring.verify_tag(own, KeyRing.tag_with(leaked, own))
+        others = chain(B, A)  # head names a
+        assert not ring.verify_tag(others, KeyRing.tag_with(leaked, others))
+
+    def test_payload_auth_roundtrip(self):
+        ring = KeyRing()
+        tag = ring.sign_payload(A, b"m|data")
+        assert ring.verify_payload(A, b"m|data", tag)
+        assert not ring.verify_payload(B, b"m|data", tag)
+        assert not ring.verify_payload(A, b"m|tampered", tag)
+
+
+class TestSpineVerifier:
+    def test_empty_always_verifies(self):
+        assert fresh_verifier().verify(EMPTY)
+
+    def test_attested_chain_verifies(self):
+        verifier = fresh_verifier()
+        node = chain(A, B, C)
+        assert verifier.attest_chain(node) == 3
+        assert verifier.verify(node)
+        # prefixes came along for free
+        assert verifier.verify(node.tail)
+
+    def test_unattested_chain_fails(self):
+        assert not fresh_verifier().verify(chain(A))
+
+    def test_verification_is_o_new_hops(self):
+        verifier = fresh_verifier()
+        node = chain(*(pr(f"h{i}") for i in range(50)))
+        verifier.attest_chain(node)
+        verifier.verify(node)
+        checked_after_full = verifier.nodes_checked
+        assert checked_after_full == 50
+        extended = node.cons(OutputEvent(A, EMPTY))
+        verifier.attest_chain(extended)
+        verifier.verify(extended)
+        assert verifier.nodes_checked == checked_after_full + 1
+
+    def test_cached_verdict_counts_a_hit(self):
+        verifier = fresh_verifier()
+        node = chain(A, B)
+        verifier.attest_chain(node)
+        verifier.verify(node)
+        hits = verifier.cache_hits
+        verifier.verify(node)
+        assert verifier.cache_hits == hits + 1
+
+    def test_splice_detected_and_located(self):
+        verifier = fresh_verifier()
+        genuine = chain(A, B)
+        verifier.attest_chain(genuine)
+        spliced = genuine.cons(OutputEvent(C, EMPTY))  # never attested
+        assert not verifier.verify(spliced)
+        assert verifier.first_bad_node(spliced) is spliced
+
+    def test_bad_nested_channel_provenance_detected(self):
+        verifier = fresh_verifier()
+        bogus_channel = chain(B)  # unattested
+        node = EMPTY.cons(OutputEvent(A, bogus_channel))
+        verifier.attest_chain(node)
+        # attest_chain walked into the nested provenance too, so this
+        # verifies; a *foreign* nested history does not
+        assert verifier.verify(node)
+        foreign = EMPTY.cons(OutputEvent(A, chain(C, C)))
+        verifier._store.record(
+            foreign, verifier._ring.attest(foreign)
+        )  # node tagged, nested chain not
+        assert not verifier.verify(foreign)
+
+
+class TestVerifyProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(provenances(max_length=5, max_depth=2))
+    def test_verify_accepts_iff_untampered(self, provenance):
+        """The tentpole property: attested histories verify, any event
+        mutation breaks verification."""
+
+        verifier = fresh_verifier()
+        verifier.attest_chain(provenance)
+        assert verifier.verify(provenance)
+        if provenance.is_empty:
+            return
+        head = provenance.head
+        flipped = (
+            InputEvent if isinstance(head, OutputEvent) else OutputEvent
+        )
+        tampered = provenance.tail.cons(
+            flipped(head.principal, head.channel_provenance)
+        )
+        if tampered is provenance:  # interning says nothing changed
+            return
+        assert not verifier.verify(tampered)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        provenances(max_length=5, max_depth=1),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_foreign_ring_never_verifies(self, provenance, master):
+        if provenance.is_empty:
+            return
+        attester = fresh_verifier()
+        attester.attest_chain(provenance)
+        foreign = SpineVerifier(
+            KeyRing(f"master-{master}"), attester._store
+        )
+        assert not foreign.verify(provenance)
+
+
+class TestMiddlewareIntegrity:
+    def test_stamps_are_attested(self):
+        runtime = DistributedRuntime(seed=1)
+        middleware = runtime.middleware
+        (value,) = middleware.stamp_output(A, EMPTY, (AnnotatedValue(V),))
+        assert middleware.payload_verifies((value,))
+
+    def test_adopted_literals_verify(self):
+        runtime = DistributedRuntime(seed=1)
+        annotated = AnnotatedValue(V, chain(A, B))
+        runtime.middleware.adopt((annotated,))
+        assert runtime.middleware.payload_verifies((annotated,))
+
+    def test_crypto_off_skips_attestation(self):
+        runtime = DistributedRuntime(seed=1, crypto=False)
+        middleware = runtime.middleware
+        (value,) = middleware.stamp_output(A, EMPTY, (AnnotatedValue(V),))
+        assert len(middleware.attestations) == 0
+        assert not middleware.crypto
+
+    def test_erased_mode_disables_crypto(self):
+        from repro.core.semantics import SemanticsMode
+
+        runtime = DistributedRuntime(seed=1, mode=SemanticsMode.ERASED)
+        assert not runtime.middleware.crypto
+
+    def test_quarantined_sender_drops_silently(self):
+        runtime = DistributedRuntime(seed=1)
+        middleware = runtime.middleware
+        middleware._punish(B)
+        assert runtime.metrics.principals_quarantined == 1
+        middleware.send(B, AnnotatedValue(V), (AnnotatedValue(ch("w")),))
+        assert runtime.metrics.quarantined_drops == 1
+        assert runtime.metrics.messages_sent == 0
+
+    def test_punish_revokes_certificate(self):
+        class Cert:
+            def branch_action(self, *args):
+                return "vet"
+
+        runtime = DistributedRuntime(seed=1, certificate=Cert())
+        runtime.middleware._punish(B)
+        assert runtime.middleware.certificate is None
+        assert runtime.metrics.certificates_revoked == 1
+
+
+class TestIntegrityDifferential:
+    """Satellite 3: integrity-on and crypto-off runs are bit-identical
+    when nobody attacks — locally and under --shards 2."""
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_delivered_trace_identical(self, shards):
+        workload = relay_gauntlet(hops=5, lanes=2)
+        traces = {}
+        summaries = {}
+        for label, kwargs in (
+            ("on", dict(verify_deliveries=True)),
+            ("off", dict(crypto=False)),
+        ):
+            runtime = ShardedRuntime(seed=19, shards=shards, **kwargs)
+            runtime.deploy(workload.system)
+            runtime.run()
+            traces[label] = runtime.delivered_trace()
+            summaries[label] = runtime.metrics_summary()
+        assert traces["on"] == traces["off"]
+        assert len(traces["on"]) == workload.expected_deliveries
+        for key in ("deliveries", "messages_sent", "max_provenance_spine"):
+            assert summaries["on"][key] == summaries["off"][key]
+        assert summaries["on"]["verify_calls"] > 0
+        assert summaries["off"]["verify_calls"] == 0
+
+    def test_verification_work_is_amortized_constant(self):
+        rates = []
+        for hops in (8, 16):
+            workload = relay_gauntlet(hops=hops, lanes=1)
+            runtime = DistributedRuntime(seed=3, verify_deliveries=True)
+            runtime.deploy(workload.system)
+            runtime.run()
+            summary = runtime.metrics.summary()
+            rates.append(
+                summary["verify_nodes_checked"] / summary["deliveries"]
+            )
+        assert all(rate <= 4.0 for rate in rates)
+        assert rates[1] <= rates[0] * 1.5

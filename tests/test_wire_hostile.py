@@ -1,0 +1,160 @@
+"""Hostile-input handling on the wire: every malformed byte stream must
+raise :class:`WireFormatError` (with an offset) — never ``KeyError``,
+``IndexError``, ``RecursionError`` or a silently wrong decode."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import provenances
+from repro.core.builder import ch, pr
+from repro.core.errors import WireError, WireFormatError
+from repro.core.provenance import EMPTY, OutputEvent
+from repro.core.values import AnnotatedValue
+from repro.runtime.wire import (
+    MAX_NESTING,
+    Codec,
+    decode_message,
+    decode_payload,
+    decode_payload_v2,
+    encode_message,
+    encode_payload_v2,
+    encode_varint,
+)
+
+A, B = pr("a"), pr("b")
+V = ch("v")
+
+
+def sample_payload(depth=4):
+    provenance = EMPTY
+    for index in range(depth):
+        provenance = provenance.cons(
+            OutputEvent(pr(f"hop{index}"), EMPTY)
+        )
+    return (AnnotatedValue(V, provenance), AnnotatedValue(ch("w"), EMPTY))
+
+
+class TestErrorContract:
+    def test_wire_error_is_an_alias(self):
+        assert WireError is WireFormatError
+
+    def test_offset_is_carried_and_rendered(self):
+        error = WireFormatError("bad tag", 17)
+        assert error.offset == 17
+        assert "at byte 17" in str(error)
+        assert WireFormatError("no position").offset is None
+
+    def test_empty_stream(self):
+        with pytest.raises(WireFormatError):
+            decode_payload_v2(b"")
+
+    def test_truncated_varint(self):
+        with pytest.raises(WireFormatError):
+            decode_payload_v2(b"\xff")
+
+    def test_absurd_count_rejected_before_allocation(self):
+        data = encode_varint(2**40) + b"\x00"
+        with pytest.raises(WireFormatError, match="truncated payload"):
+            decode_payload_v2(data)
+
+    def test_unknown_version_envelope(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"\x09" + encode_payload_v2(sample_payload()))
+
+    def test_deep_nesting_guard(self):
+        assert MAX_NESTING < 10_000  # below the recursion limit headroom
+
+
+class TestBitFlipFuzz:
+    """Satellite 1: every single-bit flip of a digested v2 frame is
+    rejected cleanly — 100% corruption detection, typed errors only."""
+
+    def test_every_single_bit_flip_is_detected(self):
+        encoder = Codec()
+        frame, _ = encoder.encode_frame(sample_payload())
+        for byte_index in range(len(frame)):
+            for bit in range(8):
+                mutated = bytearray(frame)
+                mutated[byte_index] ^= 1 << bit
+                decoder = Codec()
+                with pytest.raises(WireFormatError):
+                    decoder.decode_frame(bytes(mutated))
+
+    def test_truncation_at_every_boundary_is_detected(self):
+        encoder = Codec()
+        frame, _ = encoder.encode_frame(sample_payload())
+        for cut in range(len(frame)):
+            decoder = Codec()
+            with pytest.raises(WireFormatError):
+                decoder.decode_frame(frame[:cut])
+
+    def test_trailing_garbage_inside_body_is_detected(self):
+        encoder = Codec()
+        body = encoder.encode_payload(sample_payload())
+        inflated = encode_varint(len(body) + 2) + body + b"\x00\x00" + bytes(16)
+        decoder = Codec()
+        with pytest.raises(WireFormatError):
+            decoder.decode_frame(inflated)
+
+    def test_mid_stream_flip_only_poisons_that_frame(self):
+        """A resumed stream delivers frame 1 fine; the flipped frame 2
+        raises; the codec is then retired by contract (no assertion on
+        further decodes — the router poisons the link)."""
+
+        encoder, decoder = Codec(), Codec()
+        first, _ = encoder.encode_frame(sample_payload())
+        second, _ = encoder.encode_frame(sample_payload(depth=6))
+        payload, consumed, _ = decoder.decode_frame(first)
+        assert consumed == len(first)
+        assert payload == sample_payload()
+        mutated = bytearray(second)
+        mutated[len(mutated) // 2] ^= 0x10
+        with pytest.raises(WireFormatError):
+            decoder.decode_frame(bytes(mutated))
+
+
+class TestRandomFuzz:
+    @pytest.mark.parametrize("decoder", [decode_payload, decode_payload_v2])
+    def test_random_bytes_never_escape_the_error_type(self, decoder):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randrange(1, 64))
+            try:
+                decoder(blob)
+            except WireFormatError:
+                pass  # the only acceptable failure
+
+    def test_random_mutations_of_genuine_messages(self):
+        rng = random.Random(0xBEEF)
+        data = encode_message(sample_payload(), version=2)
+        for _ in range(500):
+            mutated = bytearray(data)
+            for _ in range(rng.randrange(1, 4)):
+                mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            try:
+                decode_message(bytes(mutated))
+            except WireFormatError:
+                pass  # flips may land in don't-care bits of plain names;
+                # anything detected must be detected *cleanly*
+
+    @settings(max_examples=30, deadline=None)
+    @given(provenances(max_length=4, max_depth=2), st.integers(0, 2**32))
+    def test_frame_roundtrip_survives_and_flips_fail(self, provenance, seed):
+        payload = (AnnotatedValue(V, provenance),)
+        encoder, decoder = Codec(), Codec()
+        frame, sent_nodes = encoder.encode_frame(payload)
+        decoded, consumed, got_nodes = Codec().decode_frame(frame)
+        assert decoded == payload
+        assert consumed == len(frame)
+        assert [n.digest for n in got_nodes] == [n.digest for n in sent_nodes]
+        rng = random.Random(seed)
+        mutated = bytearray(frame)
+        mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+        if bytes(mutated) != frame:
+            with pytest.raises(WireFormatError):
+                decoder.decode_frame(bytes(mutated))
