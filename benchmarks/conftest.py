@@ -43,10 +43,14 @@ def write_snapshot(
         payload = {**payload, "skipped": skipped}
         print(f"SKIP {experiment}: {skipped}")
     path = _REPO_ROOT / f"BENCH_{experiment}.json"
-    path.write_text(
+    # write-temp + rename: a crash mid-write must never leave a torn
+    # snapshot where a previous commit's good numbers used to be
+    temp = path.with_suffix(".json.tmp")
+    temp.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    temp.replace(path)
     return path
 
 

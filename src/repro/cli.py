@@ -197,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="cryptographically re-verify every payload's provenance "
         "chain at its rendezvous (paranoid integrity mode)",
     )
+    sim_p.add_argument(
+        "--durable",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="journal deliveries and attestations to a crash-"
+        "recoverable segment store at DIR (per shard-N subdirectory "
+        "when sharded); see 'repro recover'",
+    )
+    sim_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --durable: compact the journal into an atomic "
+        "checkpoint every N events (N barrier windows when sharded)",
+    )
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="load a durable store, report its record, and verify it "
+        "replays bit-identically",
+    )
+    recover_p.add_argument("dir", help="store directory from --durable")
+    recover_p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the deterministic replay differential (just report "
+        "what the store holds)",
+    )
+    recover_p.add_argument("--max-events", type=int, default=10_000_000)
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -223,8 +254,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_recovered_state(state, indent: str = "") -> None:
+    print(
+        f"{indent}delivered={len(state.entries)} "
+        f"notes={len(state.notes)} "
+        f"checkpoint_generation={state.checkpoint_generation}"
+    )
+    print(f"{indent}trace_digest={state.trace_digest.hex()}")
+    if state.quarantined:
+        print(f"{indent}quarantined={sorted(state.quarantined)}")
+    if state.revoked:
+        print(f"{indent}certificate: revoked")
+    if state.tampered:
+        print(f"{indent}tamper_notes={state.tampered}")
+    if state.torn:
+        print(f"{indent}torn_segments={state.torn} (truncated to last valid record)")
+
+
+def _cmd_recover(args) -> int:
+    """Load a durable store, report its record, optionally verify replay."""
+
+    from repro.core.errors import StorageError
+    from repro.storage import DurableStore, load_state, verify_replay
+
+    store = DurableStore(args.dir)
+    try:
+        manifest = store.read_manifest()
+        if manifest is None:
+            print(f"error: no manifest in {args.dir}", file=sys.stderr)
+            return 2
+        if manifest.get("sharded"):
+            shard_dirs = store.shard_dirs()
+            print(
+                f"sharded store: shards={manifest.get('shards')} "
+                f"mode={manifest.get('shard_mode')} "
+                f"seed={manifest.get('seed')}"
+            )
+            for shard_path in shard_dirs:
+                shard_state = load_state(DurableStore(shard_path))
+                print(f"  {shard_path.name}:")
+                _print_recovered_state(shard_state, indent="    ")
+            if not shard_dirs:
+                print("  (no shard stores found)")
+            return 0
+        state = load_state(store)
+        _print_recovered_state(state)
+        if args.no_verify:
+            return 0
+        if manifest.get("system") is None:
+            print("verify: skipped (manifest carries no system source)")
+            return 0
+        report = verify_replay(store, state, max_events=args.max_events)
+        if report.ok:
+            print(
+                f"verify: ok — {report.persisted} persisted deliveries "
+                f"replayed bit-identically ({report.replayed} replayed)"
+            )
+            return 0
+        print(f"verify: FAILED — {report.detail}", file=sys.stderr)
+        return 1
+    except StorageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "recover":
+        # no system file to read — the store's manifest is the input
+        return _cmd_recover(args)
     parse_start = perf_counter()
     try:
         system = _read_system(args)
@@ -348,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
                 metrics_retention=args.metrics_retention,
                 verify_deliveries=args.verify_deliveries,
                 fault_plan=fault_plan,
+                durable_dir=args.durable,
+                checkpoint_every=args.checkpoint_every,
             )
             from repro.core.errors import SimulationError
 
@@ -411,6 +511,9 @@ def main(argv: list[str] | None = None) -> int:
             metrics_retention=args.metrics_retention,
             verify_deliveries=args.verify_deliveries,
             fault_plan=fault_plan,
+            durable=args.durable,
+            checkpoint_every=args.checkpoint_every,
+            durable_wipe=args.durable is not None,
         )
         deploy_start = perf_counter()
         runtime.deploy(system)
@@ -433,6 +536,10 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(f"  {o.attack:10s} {verdict}")
             print(f"  detection: {detected}/{len(outcomes)}")
+        if args.durable:
+            # end the store on a complete, self-contained checkpoint so
+            # `repro recover` needs no journal suffix for a clean exit
+            runtime.checkpoint()
         summary = runtime.metrics.summary()
         print(
             f"events={events} time={runtime.now:.2f} "

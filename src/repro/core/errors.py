@@ -18,6 +18,8 @@ __all__ = [
     "WireError",
     "IntegrityError",
     "SimulationError",
+    "ShardLostError",
+    "StorageError",
     "AnalysisError",
 ]
 
@@ -97,6 +99,21 @@ class IntegrityError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event runtime reached an inconsistent state."""
+
+
+class ShardLostError(SimulationError):
+    """A shard worker died and could not be recovered.
+
+    Raised by the sharded conductor after a killed worker either has no
+    durable journal to replay or exhausted its bounded respawn retries.
+    Subclasses :class:`SimulationError` so existing barrier-failure
+    handling (e.g. the CLI's exit-code-2 path) degrades the same way,
+    while callers who care can catch the typed loss specifically.
+    """
+
+
+class StorageError(ReproError):
+    """The durable segment store is corrupt, inconsistent, or misused."""
 
 
 class AnalysisError(ReproError):

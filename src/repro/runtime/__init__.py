@@ -10,6 +10,7 @@ from repro.runtime.adversary import (
     TruncatingAdversary,
     run_threat_suite,
 )
+from repro.core.errors import ShardLostError
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
 from repro.runtime.middleware import (
     ChannelManager,

@@ -209,7 +209,7 @@ class ChannelManager:
             # reaches a receiver.  No quarantine — at the rendezvous the
             # presenter is unknown (link corruption looks the same as a
             # garbling sender), so the message is just discarded.
-            middleware.metrics.record_tamper("chain")
+            middleware.record_tamper("chain")
             return
         self._messages.append(_StoredMessage(payload, posted_at))
         self._match()
@@ -310,6 +310,16 @@ class ChannelManager:
                     metrics.record_delivery_streaming(
                         values, now - stored.posted_at
                     )
+                journal = middleware.journal
+                if journal is not None:
+                    journal.record_delivery(
+                        now,
+                        waiter.principal,
+                        self.channel,
+                        values,
+                        branch_index,
+                        now - stored.posted_at,
+                    )
                 branch.callback(branch_index, values)
                 return True
         return False
@@ -331,6 +341,7 @@ class Middleware:
         keyring: Optional[KeyRing] = None,
         crypto: bool = True,
         verify_deliveries: bool = False,
+        attestations: Optional[AttestationStore] = None,
     ) -> None:
         if wire_version not in (WIRE_V1, WIRE_V2):
             raise ValueError(f"unknown wire version {wire_version}")
@@ -351,8 +362,18 @@ class Middleware:
         self.verify_deliveries = verify_deliveries and self.crypto
         """Re-verify every payload at its rendezvous (paranoid mode)."""
         self.keyring = keyring if keyring is not None else KeyRing()
-        self.attestations = AttestationStore()
+        self.attestations = (
+            attestations if attestations is not None else AttestationStore()
+        )
+        """Tag store — callers may pass a spill-backed store (see
+        :class:`~repro.core.integrity.AttestationStore`) to bound its
+        in-RAM footprint on durable runs."""
         self.verifier = SpineVerifier(self.keyring, self.attestations)
+        self.journal = None
+        """A :class:`~repro.storage.journal.DurabilitySink` (or ``None``):
+        when set, every delivery and every trust transition (quarantine,
+        revocation, tamper detection) is streamed into the durable
+        write-ahead journal."""
         self.quarantined: set[Principal] = set()
         """A :class:`~repro.analysis.static_flow.StaticCertificate` (any
         object with ``branch_action``) authorizing check elision, or
@@ -493,9 +514,20 @@ class Middleware:
         if offender is not None and offender not in self.quarantined:
             self.quarantined.add(offender)
             self.metrics.principals_quarantined += 1
+            if self.journal is not None:
+                self.journal.note("quarantine", offender.name)
         if self.certificate is not None:
             self.certificate = None
             self.metrics.certificates_revoked += 1
+            if self.journal is not None:
+                self.journal.note("revoke", "certificate")
+
+    def record_tamper(self, kind: str) -> None:
+        """Count a tamper detection and journal it when durable."""
+
+        self.metrics.record_tamper(kind)
+        if self.journal is not None:
+            self.journal.note("tamper", kind)
 
     def vet(
         self,
@@ -743,13 +775,13 @@ class Middleware:
                 ):
                     if self.payload_verifies(payload):
                         metrics.replays_blocked += 1
-                        metrics.record_tamper("replay")
+                        self.record_tamper("replay")
                     else:
-                        metrics.record_tamper("forge")
+                        self.record_tamper("forge")
                     self._punish(presenter)
                 return False
             if self.crypto and not self.payload_verifies(payload):
-                metrics.record_tamper("chain")
+                self.record_tamper("chain")
                 self._punish(presenter)
                 return False
         self.metrics.forgeries_accepted += 1

@@ -130,6 +130,15 @@ class FaultPlan:
     as an extra ``reorder_delay`` time units added to the affected
     message's latency (enough to overtake later traffic on the link),
     since the simulator itself never reorders equal-time events.
+
+    ``kill`` and ``torn`` are *process* faults, drawn per shard per
+    barrier window rather than per message: ``kill`` SIGKILLs the shard
+    worker mid-window, ``torn`` additionally truncates its window WAL
+    mid-record first (the on-disk state a crash mid-append leaves).
+    They require a durable sharded run to recover from — see
+    :class:`~repro.runtime.shards.ShardedRuntime` — and they do not
+    make a plan "loud" for :attr:`is_quiet`, which concerns per-message
+    link faults only.
     """
 
     drop: float = 0.0
@@ -137,6 +146,8 @@ class FaultPlan:
     reorder: float = 0.0
     corrupt: float = 0.0
     reorder_delay: float = 5.0
+    kill: float = 0.0
+    torn: float = 0.0
 
     _ALIASES = {
         "drop": "drop",
@@ -146,11 +157,19 @@ class FaultPlan:
         "corrupt": "corrupt",
         "delay": "reorder_delay",
         "reorder_delay": "reorder_delay",
+        "kill": "kill",
+        "torn": "torn",
     }
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
-        """Parse ``"drop=0.01,dup=0.02,corrupt=0.005"`` CLI specs."""
+        """Parse ``"drop=0.01,dup=0.02,corrupt=0.005"`` CLI specs.
+
+        Rejects unknown keys, repeated keys, malformed or out-of-range
+        values — each error names the offending token, so a typo like
+        ``dorp=0.1`` fails loudly instead of silently injecting
+        nothing.
+        """
 
         kwargs: dict[str, float] = {}
         for part in spec.split(","):
@@ -158,24 +177,50 @@ class FaultPlan:
             if not part:
                 continue
             key, sep, raw = part.partition("=")
-            field = cls._ALIASES.get(key.strip())
-            if field is None or not sep:
+            key = key.strip()
+            if not sep:
                 raise ValueError(
-                    f"bad fault spec {part!r}: expected key=value with key "
-                    f"in {sorted(set(cls._ALIASES))}"
+                    f"bad fault spec {part!r}: expected key=value "
+                    f"(no '=' found)"
+                )
+            field = cls._ALIASES.get(key)
+            if field is None:
+                raise ValueError(
+                    f"unknown fault kind {key!r} in {part!r}: expected one "
+                    f"of {sorted(set(cls._ALIASES))}"
+                )
+            if field in kwargs:
+                raise ValueError(
+                    f"fault kind {key!r} given twice (second: {part!r})"
                 )
             try:
                 value = float(raw)
             except ValueError:
-                raise ValueError(f"bad fault probability in {part!r}") from None
-            if field != "reorder_delay" and not 0.0 <= value <= 1.0:
-                raise ValueError(f"fault probability out of [0,1]: {part!r}")
+                raise ValueError(
+                    f"bad fault value {raw.strip()!r} in {part!r}: "
+                    f"not a number"
+                ) from None
+            if field == "reorder_delay":
+                if value < 0.0:
+                    raise ValueError(
+                        f"reorder delay must be non-negative, got {part!r}"
+                    )
+            elif not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fault probability out of [0, 1] in {part!r}"
+                )
             kwargs[field] = value
         return cls(**kwargs)
 
     @property
     def is_quiet(self) -> bool:
+        """No per-message link faults (process faults don't count)."""
+
         return not (self.drop or self.duplicate or self.reorder or self.corrupt)
+
+    @property
+    def has_process_faults(self) -> bool:
+        return bool(self.kill or self.torn)
 
 
 @dataclass(frozen=True, slots=True)
@@ -220,6 +265,25 @@ class FaultInjector:
             digest_size=8,
         ).digest()
         return int.from_bytes(digest, "big") / 2**64
+
+    def process_fault(self, shard: int, window: int) -> Optional[str]:
+        """Deterministic process-fault draw for one shard's next window.
+
+        Returns ``"torn"``, ``"kill"``, or ``None``.  Keyed like the
+        per-message draws — ``blake2b(seed | kind | shard | window)`` —
+        so the same seed kills the same shard at the same window on
+        every run, which is what makes the kill-injection differential
+        reproducible.  ``torn`` wins when both fire: it is a kill plus
+        a mangled WAL tail.
+        """
+
+        plan = self.plan
+        link = (f"shard-{shard}", "@window")
+        if plan.torn > 0 and self._unit("torn", link, window) < plan.torn:
+            return "torn"
+        if plan.kill > 0 and self._unit("kill", link, window) < plan.kill:
+            return "kill"
+        return None
 
     def decide(
         self,

@@ -74,6 +74,10 @@ class DistributedRuntime:
         verify_deliveries: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         keyring: Optional[KeyRing] = None,
+        durable=None,
+        checkpoint_every: Optional[int] = None,
+        attestation_cache: Optional[int] = None,
+        durable_wipe: bool = False,
     ) -> None:
         self.simulator = Simulator(
             seed, scheduler=scheduler, sequence_source=sequence_source
@@ -91,6 +95,32 @@ class DistributedRuntime:
         self.metrics = RuntimeMetrics(
             detailed=detailed_metrics, retain=metrics_retention
         )
+        # durable mode: the attestation store spills to disk (bounded
+        # RAM) and the middleware streams deliveries into a write-ahead
+        # journal.  Imported lazily — repro.storage pulls in recovery
+        # machinery most runs never need.
+        self.durable = None
+        self.durability = None
+        self.checkpoint_every = checkpoint_every
+        attestations = None
+        if durable is not None:
+            from repro.storage.segments import AttestationSpill, DurableStore
+            from repro.core.integrity import AttestationStore
+
+            store = (
+                durable
+                if isinstance(durable, DurableStore)
+                else DurableStore(durable)
+            )
+            if durable_wipe:
+                store.wipe()
+            self.durable = store
+            cache = (
+                attestation_cache if attestation_cache is not None else 65536
+            )
+            attestations = AttestationStore(
+                spill=AttestationSpill(store.spill_path()), capacity=cache
+            )
         self.middleware = Middleware(
             self.simulator,
             self.network,
@@ -103,13 +133,37 @@ class DistributedRuntime:
             keyring=keyring,
             crypto=crypto,
             verify_deliveries=verify_deliveries,
+            attestations=attestations,
         )
+        if self.durable is not None:
+            from repro.storage.journal import DurabilitySink
+
+            self.durability = DurabilitySink(
+                self.durable,
+                attestation_lookup=self.middleware.attestations.tag,
+            )
+            self.middleware.journal = self.durability
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay
         if batch_limit is None and scheduler == "runq":
             batch_limit = DEFAULT_BATCH_LIMIT
         self.batch_limit = batch_limit
         self._nodes: dict[Principal, Node] = {}
+        self._fault_plan = fault_plan
+        self._config = dict(
+            seed=seed,
+            mode=mode.name,
+            enforce_integrity=enforce_integrity,
+            replication_budget=replication_budget,
+            processing_delay=processing_delay,
+            wire_version=wire_version,
+            vetting=vetting,
+            scheduler=scheduler,
+            crypto=crypto,
+            verify_deliveries=verify_deliveries,
+            latency_base=latency.base,
+            latency_jitter=latency.jitter,
+        )
 
     def node(self, principal: Principal) -> Node:
         """The (lazily created) node hosting ``principal``."""
@@ -138,6 +192,8 @@ class DistributedRuntime:
         would be channels whose name is known only to their creators.
         """
 
+        if self.durable is not None and not self.durable.manifest_path().exists():
+            self.durable.write_manifest(self._manifest_for(system))
         self.middleware.supply.reserve(all_system_names(system))
         nf = normalize(system)
         # consecutive components of one principal ride one batched
@@ -168,12 +224,90 @@ class DistributedRuntime:
         if group:
             self.node(group_principal).spawn_group(group)
 
+    def _manifest_for(self, system: System) -> dict:
+        """Everything a later process needs to re-execute this run.
+
+        The engine is deterministic, so config + system source *is* the
+        run; recovery re-parses the pretty-printed source and replays
+        (see :mod:`repro.storage.recover`).
+        """
+
+        from dataclasses import asdict
+
+        from repro.core.system import system_principals
+        from repro.lang import pretty_system
+
+        return {
+            "format": 1,
+            "runtime": dict(self._config),
+            "keyring_master": self.middleware.keyring.master.hex(),
+            "checkpoint_every": self.checkpoint_every,
+            "system": pretty_system(system),
+            "principals": sorted(p.name for p in system_principals(system)),
+            "faults": (
+                asdict(self._fault_plan)
+                if self._fault_plan is not None
+                else None
+            ),
+        }
+
+    def checkpoint(self):
+        """Snapshot the durable record; returns the checkpoint path.
+
+        The checkpoint header captures simulated time, events
+        processed, the metrics summary, and the quarantine set; the
+        body compacts every journaled delivery into one self-contained,
+        atomically renamed segment (see :mod:`repro.storage.checkpoint`).
+        """
+
+        if self.durability is None:
+            from repro.core.errors import StorageError
+
+            raise StorageError(
+                "checkpoint() requires a durable runtime (pass durable=DIR)"
+            )
+        middleware = self.middleware
+        state = {
+            "time": self.simulator.now,
+            "events": self.simulator.events_processed,
+            "summary": self.metrics.summary(),
+            "quarantined": sorted(
+                p.name for p in middleware.quarantined
+            ),
+            "revoked": bool(
+                middleware.certificate is None
+                and self.metrics.certificates_revoked
+            ),
+        }
+        return self.durability.checkpoint(state)
+
     def run(
         self, until: Optional[float] = None, max_events: int = 1_000_000
     ) -> int:
-        """Advance the simulation; returns events processed."""
+        """Advance the simulation; returns events processed.
 
-        return self.simulator.run(until=until, max_events=max_events)
+        On a durable runtime the journal is flushed when the run
+        settles, and with ``checkpoint_every=N`` a checkpoint is cut
+        after every ``N`` processed events.
+        """
+
+        if self.durability is None:
+            return self.simulator.run(until=until, max_events=max_events)
+        every = self.checkpoint_every
+        if not every:
+            processed = self.simulator.run(until=until, max_events=max_events)
+            self.durability.flush()
+            return processed
+        processed = 0
+        while processed < max_events:
+            chunk = min(every, max_events - processed)
+            ran = self.simulator.run(until=until, max_events=chunk)
+            processed += ran
+            if ran < chunk:
+                break
+            self.checkpoint()
+        self.durability.flush()
+        return processed
 
     @property
     def now(self) -> float:

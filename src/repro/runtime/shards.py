@@ -59,6 +59,10 @@ the process-mode throughput ratio.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import signal
+import time as time_module
 import traceback
 import zlib
 from dataclasses import dataclass, field
@@ -67,12 +71,13 @@ from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.core.congruence import NormalForm, all_system_names, normalize
-from repro.core.errors import SimulationError, WireFormatError
+from repro.core.errors import ShardLostError, SimulationError, WireFormatError
 from repro.core.names import Channel, NameSupply, Principal
 from repro.core.semantics import SemanticsMode
 from repro.core.system import Located, Message, System
 from repro.runtime.metrics import DeliveryRecord, RuntimeMetrics
 from repro.runtime.network import (
+    FaultInjector,
     FaultPlan,
     KeyedLatencySampler,
     LatencyModel,
@@ -523,6 +528,12 @@ class _ShardSpec:
     verify_deliveries: bool
     fault_plan: Optional[FaultPlan]
     collect_trace: bool
+    durable_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    recover: bool = False
+    """Set on a replacement worker: wipe and rebuild the delivery
+    record by replaying the window WAL, and never draw process faults
+    (at most one injected kill per shard per run)."""
 
 
 def _build_worker_shard(spec: _ShardSpec):
@@ -538,6 +549,19 @@ def _build_worker_shard(spec: _ShardSpec):
     partitioner = Partitioner(
         spec.n_shards, spec.principal_overrides, spec.channel_overrides
     )
+    durable = None
+    if spec.durable_dir:
+        from repro.storage.segments import DurableStore
+
+        durable = DurableStore(spec.durable_dir)
+        if spec.recover:
+            # the killed incarnation's record (flushed or torn) is
+            # discarded wholesale; replaying the window WAL rebuilds it
+            durable.reset_record()
+        else:
+            # fresh deployment: a reused directory must not leak a
+            # previous run's WAL or record into a later recovery
+            durable.wipe()
     runtime = DistributedRuntime(
         seed=spec.seed,
         latency=spec.latency,
@@ -556,6 +580,7 @@ def _build_worker_shard(spec: _ShardSpec):
         verify_deliveries=spec.verify_deliveries,
         fault_plan=spec.fault_plan,
         latency_sampler=KeyedLatencySampler(spec.seed),
+        durable=durable,
     )
     router = ShardRouter(
         spec.index, partitioner, runtime, hub=None, lookahead=spec.lookahead
@@ -567,7 +592,18 @@ def _build_worker_shard(spec: _ShardSpec):
 
 
 def _shard_worker(conn, spec: _ShardSpec) -> None:
-    """One OS process: build, deploy, then serve barrier windows."""
+    """One OS process: build, deploy, then serve barrier windows.
+
+    Durable shards journal every window write-ahead (boundary, budget,
+    ingested envelopes) before executing it, and checkpoint the
+    delivery record every ``checkpoint_every`` windows.  When the fault
+    plan carries ``kill``/``torn`` process faults, the worker draws
+    deterministically per window and SIGKILLs *itself* mid-window (torn
+    first truncates the WAL tail mid-record) — the conductor then
+    respawns it with ``recover=True``, and this function replays the
+    WAL from ``t = 0`` to rebuild the exact pre-crash state before
+    rejoining the barrier.
+    """
 
     try:
         runtime, router, partitioner, nf = _build_worker_shard(spec)
@@ -582,7 +618,69 @@ def _shard_worker(conn, spec: _ShardSpec) -> None:
             key = simulator.next_event_key()
             return None if key is None else key[0]
 
-        conn.send(("ready", next_time()))
+        windows = None
+        windows_done = 0
+        process_faults = None
+        plan = spec.fault_plan
+        if plan is not None and plan.has_process_faults and not spec.recover:
+            process_faults = FaultInjector(plan, spec.seed)
+
+        def maybe_checkpoint() -> None:
+            if (
+                spec.checkpoint_every
+                and runtime.durability is not None
+                and windows_done % spec.checkpoint_every == 0
+            ):
+                runtime.checkpoint()
+
+        if runtime.durable is not None:
+            from repro.storage.journal import (
+                WindowJournal,
+                read_window_journal,
+            )
+
+            if runtime.durable.read_manifest() is None:
+                runtime.durable.write_manifest(
+                    {
+                        "format": 1,
+                        "shard": spec.index,
+                        "shards": spec.n_shards,
+                        "seed": spec.seed,
+                        "window": spec.window,
+                        "lookahead": spec.lookahead,
+                        "checkpoint_every": spec.checkpoint_every,
+                    }
+                )
+            replay_count = 0
+            replayed_reply = None
+            if spec.recover:
+                entries, _ = read_window_journal(
+                    runtime.durable.windows_path()
+                )
+                for entry in entries:
+                    if entry.envelopes:
+                        router.ingest(list(entry.envelopes))
+                    events = simulator.run(
+                        until=entry.boundary, max_events=entry.budget
+                    )
+                    replayed_reply = (
+                        "done",
+                        events,
+                        next_time(),
+                        router.drain_outbox(),
+                    )
+                    replay_count += 1
+                    windows_done += 1
+                    maybe_checkpoint()
+                runtime.durability.flush()
+            # WindowJournal repairs any torn tail before appending
+            windows = WindowJournal(runtime.durable.windows_path())
+            if spec.recover:
+                conn.send(("recovered", replay_count, replayed_reply))
+            else:
+                conn.send(("ready", next_time()))
+        else:
+            conn.send(("ready", next_time()))
         barrier_stall = 0.0
         while True:
             wait_start = perf_counter()
@@ -591,13 +689,45 @@ def _shard_worker(conn, spec: _ShardSpec) -> None:
             kind = message[0]
             if kind == "window":
                 _, until, envelopes, budget = message
+                fault = None
+                if process_faults is not None:
+                    fault = process_faults.process_fault(
+                        spec.index, windows_done
+                    )
+                    if fault == "torn" and windows is None:
+                        # nothing to tear without a WAL; a plain kill
+                        # still exercises the ShardLostError path
+                        fault = "kill"
+                if windows is not None:
+                    windows.record(until, budget, envelopes)
+                if fault == "torn":
+                    from repro.storage.segments import torn_truncate
+
+                    windows.close()
+                    torn_truncate(runtime.durable.windows_path())
+                    os.kill(os.getpid(), signal.SIGKILL)
                 if envelopes:
                     router.ingest(envelopes)
+                if fault == "kill":
+                    # crash lands mid-window: run roughly half of it,
+                    # then die without flushing anything
+                    midpoint = simulator.now + (until - simulator.now) / 2
+                    if midpoint > simulator.now:
+                        simulator.run(until=midpoint, max_events=budget)
+                    os.kill(os.getpid(), signal.SIGKILL)
                 events = simulator.run(until=until, max_events=budget)
+                windows_done += 1
+                if runtime.durability is not None:
+                    runtime.durability.flush()
+                    maybe_checkpoint()
                 conn.send(
                     ("done", events, next_time(), router.drain_outbox())
                 )
             elif kind == "finish":
+                if runtime.durability is not None:
+                    runtime.durability.close()
+                if windows is not None:
+                    windows.close()
                 metrics = runtime.metrics
                 result = {
                     "summary": metrics.summary(),
@@ -681,6 +811,10 @@ class ShardedRuntime:
         verify_deliveries: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         start_method: Optional[str] = None,
+        durable_dir=None,
+        checkpoint_every: Optional[int] = None,
+        recovery_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -725,6 +859,12 @@ class ShardedRuntime:
             fault_plan=fault_plan,
         )
         self._collect_trace = metrics_retention != 0
+        self.durable_dir = None if durable_dir is None else str(durable_dir)
+        self.checkpoint_every = checkpoint_every
+        self.recovery_retries = recovery_retries
+        """How many times a dead shard is respawned (with backoff)
+        before the run degrades to a typed :class:`ShardLostError`."""
+        self.retry_backoff = retry_backoff
         self._shards: list[DistributedRuntime] = []
         self._system: Optional[System] = None
         self._builder: Optional[Callable[..., Any]] = None
@@ -764,6 +904,7 @@ class ShardedRuntime:
         self._system = system
         self._topology = topology
         self._deployed = True
+        self._write_root_manifest()
         if self.shard_mode == "inline":
             self._build_inline()
 
@@ -782,24 +923,67 @@ class ShardedRuntime:
         self._builder = builder
         self._builder_kwargs = dict(kwargs)
         self._deployed = True
+        self._write_root_manifest()
         if self.shard_mode == "inline":
             workload = builder(**kwargs)
             self._system = getattr(workload, "system", workload)
             self._topology = getattr(workload, "topology", None)
             self._build_inline()
 
+    def _shard_store_dir(self, index: int) -> str:
+        return os.path.join(self.durable_dir, f"shard-{index}")
+
+    def _write_root_manifest(self) -> None:
+        if self.durable_dir is None:
+            return
+        from repro.storage.segments import DurableStore
+
+        store = DurableStore(self.durable_dir)
+        # a fresh deploy owns the directory: overwrite whatever an
+        # earlier run left so `repro recover` reads *this* run's shape
+        store.write_manifest(
+            {
+                "format": 1,
+                "sharded": True,
+                "shards": self.n_shards,
+                "shard_mode": self.shard_mode,
+                "seed": self.seed,
+                "lookahead": self.lookahead,
+                "checkpoint_every": self.checkpoint_every,
+            }
+        )
+
     def _build_inline(self) -> None:
         sequence = SequenceSource()
         supply = NameSupply()
         supply.reserve(all_system_names(self._system))
         for index in range(self.n_shards):
+            durable_kwargs = {}
+            if self.durable_dir is not None:
+                durable_kwargs["durable"] = self._shard_store_dir(index)
+                durable_kwargs["durable_wipe"] = True
             runtime = DistributedRuntime(
                 seed=self.seed,
                 topology=self._topology,
                 sequence_source=sequence,
                 latency_sampler=KeyedLatencySampler(self.seed),
                 **self._runtime_kwargs,
+                **durable_kwargs,
             )
+            if runtime.durable is not None and (
+                runtime.durable.read_manifest() is None
+            ):
+                runtime.durable.write_manifest(
+                    {
+                        "format": 1,
+                        "shard": index,
+                        "shards": self.n_shards,
+                        "seed": self.seed,
+                        "window": self.window,
+                        "lookahead": self.lookahead,
+                        "checkpoint_every": self.checkpoint_every,
+                    }
+                )
             # lockstep execution makes one shared supply safe and keeps
             # runtime-fresh names (restrictions) identical to shards=1
             runtime.middleware.supply = supply
@@ -829,6 +1013,11 @@ class ShardedRuntime:
             raise SimulationError("deploy a system before running")
         if self.shard_mode == "inline":
             processed = self._run_inline(until, max_events)
+            # the inline conductor drives the simulators directly, so
+            # the per-shard journals flush here, not in runtime.run()
+            for shard in self._shards:
+                if shard.durability is not None:
+                    shard.durability.flush()
         else:
             processed = self._run_process(until, max_events)
         self._events_processed += processed
@@ -887,6 +1076,12 @@ class ShardedRuntime:
                 builder=self._builder,
                 builder_kwargs=self._builder_kwargs,
                 collect_trace=self._collect_trace,
+                durable_dir=(
+                    self._shard_store_dir(index)
+                    if self.durable_dir is not None
+                    else None
+                ),
+                checkpoint_every=self.checkpoint_every,
                 **self._runtime_kwargs,
             )
             for index in range(self.n_shards)
@@ -907,8 +1102,9 @@ class ShardedRuntime:
         context = multiprocessing.get_context(method)
         connections = []
         workers = []
+        specs = self._make_specs()
         try:
-            for spec in self._make_specs():
+            for spec in specs:
                 parent_conn, child_conn = context.Pipe()
                 worker = context.Process(
                     target=_shard_worker, args=(child_conn, spec), daemon=True
@@ -945,13 +1141,40 @@ class ShardedRuntime:
                 if until is not None and boundary > until:
                     boundary = until
                 budget = max_events - processed
+                commands = []
+                failed: list[int] = []
                 for index, conn in enumerate(connections):
-                    conn.send(("window", boundary, pending[index], budget))
+                    command = ("window", boundary, pending[index], budget)
+                    commands.append(command)
+                    try:
+                        conn.send(command)
+                    except OSError:
+                        failed.append(index)
                 pending = {index: [] for index in range(self.n_shards)}
                 self._barrier_rounds += 1
+                replies: dict[int, tuple] = {}
                 for index, conn in enumerate(connections):
-                    reply = self._expect(conn, "done")
-                    _, events, next_time, outgoing = reply
+                    if index in failed:
+                        continue
+                    try:
+                        replies[index] = self._expect(conn, "done")
+                    except (EOFError, OSError):
+                        # the worker died mid-window (e.g. an injected
+                        # SIGKILL); its peers have already answered or
+                        # will — they stall at this barrier round while
+                        # the dead shard is recovered below
+                        failed.append(index)
+                for index in failed:
+                    replies[index] = self._recover_shard(
+                        index,
+                        specs[index],
+                        context,
+                        connections,
+                        workers,
+                        commands[index],
+                    )
+                for index in range(self.n_shards):
+                    _, events, next_time, outgoing = replies[index]
                     processed += events
                     next_times[index] = next_time
                     for envelope in outgoing:
@@ -975,6 +1198,81 @@ class ShardedRuntime:
                 if worker.is_alive():
                     worker.terminate()
                     worker.join(timeout=5)
+
+    def _recover_shard(
+        self, index, spec, context, connections, workers, command
+    ):
+        """Respawn a dead shard from its durable journal; returns its
+        ``done`` reply for the outstanding barrier round.
+
+        The replacement worker replays its window WAL from ``t = 0``
+        (deterministic re-execution — see :func:`_shard_worker`) and
+        reports how many windows it replayed:
+
+        * all issued windows → the last replayed reply *is* the one the
+          dead worker never sent; use it directly.
+        * one short → the window never reached the WAL (killed before
+          journaling, or the tail was torn); re-issue the saved command.
+        * anything else → the journal is inconsistent; degrade.
+
+        Bounded retries with linear backoff; exhaustion (or a run with
+        no ``durable_dir``) raises :class:`ShardLostError`.
+        """
+
+        if not spec.durable_dir:
+            raise ShardLostError(
+                f"shard {index} died at barrier round "
+                f"{self._barrier_rounds} with no durable journal to "
+                f"replay — pass durable_dir= to enable recovery"
+            )
+        issued = self._barrier_rounds
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.recovery_retries + 1):
+            if attempt:
+                time_module.sleep(self.retry_backoff * attempt)
+            try:
+                try:
+                    connections[index].close()
+                except Exception:
+                    pass
+                worker = workers[index]
+                if worker.is_alive():
+                    worker.terminate()
+                worker.join(timeout=5)
+                parent_conn, child_conn = context.Pipe()
+                replacement = context.Process(
+                    target=_shard_worker,
+                    args=(
+                        child_conn,
+                        dataclasses.replace(spec, recover=True),
+                    ),
+                    daemon=True,
+                )
+                replacement.start()
+                child_conn.close()
+                workers[index] = replacement
+                connections[index] = parent_conn
+                _, replayed, last_reply = self._expect(
+                    parent_conn, "recovered"
+                )
+                if replayed == issued and last_reply is not None:
+                    return last_reply
+                if replayed == issued - 1:
+                    parent_conn.send(command)
+                    return self._expect(parent_conn, "done")
+                raise ShardLostError(
+                    f"shard {index}: window WAL replayed {replayed} "
+                    f"windows but {issued} were issued — journal "
+                    f"inconsistent"
+                )
+            except ShardLostError:
+                raise
+            except (EOFError, OSError, SimulationError) as error:
+                last_error = error
+        raise ShardLostError(
+            f"shard {index} could not be recovered after "
+            f"{self.recovery_retries + 1} attempts: {last_error}"
+        )
 
     @staticmethod
     def _expect(conn, kind: str):

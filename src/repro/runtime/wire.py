@@ -141,9 +141,18 @@ prefixes.  Honest traffic nests orders of magnitude shallower — spine
 """
 
 
+_VARINT_SINGLE = tuple(bytes([value]) for value in range(0x80))
+"""Prebuilt encodings for the dominant one-byte case: counts, branch
+indices, back-reference distances and most lengths fit in 7 bits, and
+the journal flush path calls :func:`encode_varint` ~18 times per
+delivery — a table lookup beats a bytearray round-trip."""
+
+
 def encode_varint(value: int) -> bytes:
     """Unsigned LEB128."""
 
+    if 0 <= value < 0x80:
+        return _VARINT_SINGLE[value]
     if value < 0:
         raise WireFormatError(f"cannot encode negative varint {value}")
     out = bytearray()
@@ -186,9 +195,23 @@ def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
             raise WireFormatError("varint too long", start)
 
 
+_NAME_CACHE: dict[str, bytes] = {}
+_NAME_CACHE_BOUND = 65536
+"""Principal and channel names recur on every event of every spine;
+their framed encodings are tiny and bounded in any real system, so a
+capped module-level cache turns the hot path into one dict probe.  The
+bound only matters under adversarial name churn (fresh names per
+message), where the cache degrades to a no-op rather than a leak."""
+
+
 def _encode_name(name: str) -> bytes:
-    raw = name.encode("utf-8")
-    return encode_varint(len(raw)) + raw
+    framed = _NAME_CACHE.get(name)
+    if framed is None:
+        raw = name.encode("utf-8")
+        framed = encode_varint(len(raw)) + raw
+        if len(_NAME_CACHE) < _NAME_CACHE_BOUND:
+            _NAME_CACHE[name] = framed
+    return framed
 
 
 def _decode_name(data: bytes, offset: int) -> tuple[str, int]:
@@ -349,10 +372,11 @@ class _V2Encoder:
     with the same event) collapses to back-references.
     """
 
-    __slots__ = ("_spine_ids", "_event_ids")
+    __slots__ = ("_spine_ids", "_spine_order", "_event_ids")
 
     def __init__(self) -> None:
         self._spine_ids: dict[Provenance, int] = {}
+        self._spine_order: list[Provenance] = []
         self._event_ids: dict[Event, int] = {}
 
     def encode_provenance(self, provenance: Provenance, out: bytearray) -> None:
@@ -376,6 +400,7 @@ class _V2Encoder:
         # decoder's construction order.
         for registered in reversed(chain):
             self._spine_ids[registered] = len(self._spine_ids)
+            self._spine_order.append(registered)
 
     def _encode_event(self, event: Event, out: bytearray) -> None:
         ref = self._event_ids.get(event)
@@ -613,7 +638,10 @@ class Codec:
 
         registered = len(self._encoder._spine_ids)
         body = self.encode_payload(payload)
-        new_nodes = tuple(self._encoder._spine_ids)[registered:]
+        # slice the order list, never the whole table: frames late in a
+        # long-lived streaming codec must cost O(new nodes), not O(all
+        # nodes ever registered)
+        new_nodes = tuple(self._encoder._spine_order[registered:])
         return (
             encode_varint(len(body)) + body + _frame_digest(body, payload),
             new_nodes,

@@ -1,0 +1,65 @@
+"""Durable provenance: crash-recoverable segment store and replay.
+
+The runtime's in-memory record — interned spines, attestation tags, the
+delivered-event log — dies with the process that built it.  This package
+makes the record survive:
+
+* :mod:`repro.storage.segments` — append-only, CRC-framed record files
+  with torn-tail detection, the attestation spill file, and the
+  :class:`~repro.storage.segments.DurableStore` directory layout
+  (manifest, generation-stamped journals and checkpoints).
+* :mod:`repro.storage.journal` — the write-ahead delivery journal
+  :class:`~repro.storage.journal.DurabilitySink` the middleware streams
+  delivered events and attestations into (deferred encoding, flushed in
+  batches), plus the per-shard window WAL used for kill recovery.
+* :mod:`repro.storage.checkpoint` — atomic, generation-stamped
+  checkpoints that compact the journal prefix into one self-contained
+  segment (runtime state header, re-encoded delivery records, chained
+  trace digest footer).
+* :mod:`repro.storage.recover` — load the newest valid checkpoint plus
+  the journal suffix, and deterministically re-execute the manifest's
+  system to verify the persisted record is a bit-identical prefix of
+  the crash-free run.
+
+Import order note: :mod:`repro.storage.recover` builds runtimes, so it
+imports :mod:`repro.runtime` lazily inside functions; the runtime side
+likewise imports this package lazily when ``durable=`` is requested.
+Nothing here may import :mod:`repro.runtime` at module level.
+"""
+
+from repro.storage.checkpoint import (
+    Checkpoint,
+    load_latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.storage.journal import (
+    DeliveryEntry,
+    DurabilitySink,
+    NoteEntry,
+    WindowEntry,
+    WindowJournal,
+    chain_digest,
+    delivery_key,
+    read_journal,
+    read_window_journal,
+)
+from repro.storage.recover import (
+    RecoveredState,
+    ReplayReport,
+    load_state,
+    recover_runtime,
+    verify_replay,
+)
+from repro.storage.segments import (
+    AttestationSpill,
+    DurableStore,
+    SegmentView,
+    SegmentWriter,
+    atomic_write_bytes,
+    read_segment,
+    repair_segment,
+    torn_truncate,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,260 @@
+"""Atomic, generation-stamped checkpoints of the delivered record.
+
+A checkpoint is itself a CRC-framed segment, written whole to a temp
+file and published with an atomic rename — readers see a complete
+checkpoint or none.  Layout::
+
+    record 0    0x10 ‖ json header      (generation, time, events,
+                                         summary, quarantined, notes,
+                                         trace_digest, ...)
+    record 1..n 0x01 delivery records   (re-encoded with one fresh
+                                         streaming codec — full spine
+                                         table, no external refs)
+    record n+1  0x11 ‖ varint count ‖ digest16   (footer)
+
+Because the deliveries are re-encoded against a *fresh* codec, the
+checkpoint is self-contained: every spine node any journal generation
+ever introduced is reachable from it, which is what licenses
+:meth:`~repro.storage.segments.DurableStore.compact` to delete the
+journals it subsumes.  The footer's chained trace digest must match a
+recomputation over the decoded records *and* the header's claim, so a
+bit flip anywhere in the segment fails validation and recovery falls
+back to the next older checkpoint.
+
+The runtime's live scheduler state (closures, blocked receivers) is
+deliberately *not* snapshotted — it cannot be pickled and does not need
+to be: the engine is deterministic, so the manifest's config plus the
+delivered record is a complete description, and recovery re-executes
+rather than resumes (see :mod:`repro.storage.recover`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.errors import StorageError
+from repro.runtime.wire import Codec, decode_varint, encode_varint
+from repro.storage.journal import (
+    K_DELIVERY,
+    K_FOOTER,
+    K_HEADER,
+    ZERO_DIGEST,
+    DeliveryEntry,
+    NoteEntry,
+    chain_digest,
+    decode_entry,
+    encode_delivery_entry,
+)
+from repro.storage.segments import (
+    DurableStore,
+    atomic_write_bytes,
+    frame_record,
+    read_segment,
+)
+
+__all__ = [
+    "Checkpoint",
+    "RecordView",
+    "collect_entries",
+    "load_latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """A validated checkpoint: header state plus the full record."""
+
+    generation: int
+    header: dict
+    entries: Tuple[DeliveryEntry, ...]
+    trace_digest: bytes
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class RecordView:
+    """The store's full delivered record: checkpoint + journal suffix."""
+
+    checkpoint: Optional[Checkpoint]
+    entries: List[DeliveryEntry]
+    notes: List[NoteEntry]
+    torn: List[str] = field(default_factory=list)
+    """Names of journal segments whose tails were torn (and truncated
+    from the view)."""
+    trace_digest: bytes = ZERO_DIGEST
+
+
+def write_checkpoint(
+    store: DurableStore,
+    generation: int,
+    header: dict,
+    entries,
+) -> Path:
+    """Write one self-contained checkpoint segment atomically.
+
+    ``entries`` is the complete delivery record in order; each entry's
+    ``(new_nodes, tags)`` pairs seed the tag table so the re-encoded
+    records carry the same attestations.  If the header claims a
+    ``trace_digest``, the recomputed chain must agree — a mismatch
+    means the caller's record diverged from what it journaled.
+    """
+
+    codec = Codec()
+    tag_by_node: dict = {}
+    chunks = [
+        frame_record(
+            bytes((K_HEADER,))
+            + json.dumps(header, sort_keys=True).encode("utf-8")
+        )
+    ]
+    digest = ZERO_DIGEST
+    count = 0
+    for entry in entries:
+        for node, tag in zip(entry.new_nodes, entry.tags):
+            if tag is not None:
+                tag_by_node[node] = tag
+        payload, _, _ = encode_delivery_entry(
+            codec,
+            entry.time,
+            entry.principal,
+            entry.channel,
+            entry.branch_index,
+            entry.latency,
+            entry.values,
+            tag_by_node.get,
+        )
+        chunks.append(frame_record(payload))
+        digest = chain_digest(digest, entry.key())
+        count += 1
+    claimed = header.get("trace_digest")
+    if claimed is not None and claimed != digest.hex():
+        raise StorageError(
+            f"checkpoint {generation}: journaled trace digest "
+            f"{claimed} != recomputed {digest.hex()}"
+        )
+    chunks.append(
+        frame_record(bytes((K_FOOTER,)) + encode_varint(count) + digest)
+    )
+    return atomic_write_bytes(
+        store.checkpoint_path(generation), b"".join(chunks)
+    )
+
+
+def read_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read and validate one checkpoint; :class:`StorageError` if bad."""
+
+    path = Path(path)
+    view = read_segment(path)
+    if view.torn:
+        raise StorageError(f"checkpoint {path} is torn: {view.reason}")
+    if len(view.records) < 2:
+        raise StorageError(f"checkpoint {path} is missing header/footer")
+    head = view.records[0]
+    if not head or head[0] != K_HEADER:
+        raise StorageError(f"checkpoint {path} does not start with a header")
+    try:
+        header = json.loads(head[1:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StorageError(
+            f"checkpoint {path} header is corrupt: {error}"
+        ) from None
+    foot = view.records[-1]
+    if not foot or foot[0] != K_FOOTER:
+        raise StorageError(f"checkpoint {path} does not end with a footer")
+    count, offset = decode_varint(foot, 1)
+    stored_digest = foot[offset : offset + 16]
+    if len(stored_digest) != 16 or offset + 16 != len(foot):
+        raise StorageError(f"checkpoint {path} footer is malformed")
+    codec = Codec()
+    entries: List[DeliveryEntry] = []
+    digest = ZERO_DIGEST
+    for payload in view.records[1:-1]:
+        if not payload or payload[0] != K_DELIVERY:
+            raise StorageError(
+                f"checkpoint {path} holds a non-delivery body record"
+            )
+        entry = decode_entry(payload, codec)
+        entries.append(entry)
+        digest = chain_digest(digest, entry.key())
+    if count != len(entries):
+        raise StorageError(
+            f"checkpoint {path} footer claims {count} records, "
+            f"found {len(entries)}"
+        )
+    if digest != stored_digest:
+        raise StorageError(
+            f"checkpoint {path} trace digest mismatch: footer "
+            f"{stored_digest.hex()}, recomputed {digest.hex()}"
+        )
+    generation = int(header.get("generation", 0))
+    return Checkpoint(
+        generation=generation,
+        header=header,
+        entries=tuple(entries),
+        trace_digest=digest,
+        path=path,
+    )
+
+
+def load_latest_checkpoint(store: DurableStore) -> Optional[Checkpoint]:
+    """Newest checkpoint that validates; older generations are the
+    fallback when the newest is corrupt (e.g. a bit flip post-write)."""
+
+    for generation in reversed(store.checkpoint_generations()):
+        try:
+            return read_checkpoint(store.checkpoint_path(generation))
+        except StorageError:
+            continue
+    return None
+
+
+def collect_entries(store: DurableStore) -> RecordView:
+    """The full delivered record: newest valid checkpoint + suffix.
+
+    Journal generations at or below the checkpoint's are skipped (they
+    are subsumed, whether or not compaction already deleted them);
+    newer generations are decoded in order, their torn tails truncated
+    and reported.  The returned trace digest chains the checkpoint's
+    digest through every suffix delivery.
+    """
+
+    from repro.storage.journal import read_journal
+
+    checkpoint = load_latest_checkpoint(store)
+    entries: List[DeliveryEntry] = (
+        list(checkpoint.entries) if checkpoint else []
+    )
+    notes: List[NoteEntry] = []
+    if checkpoint:
+        notes.extend(
+            NoteEntry(kind, detail)
+            for kind, detail in checkpoint.header.get("notes", [])
+        )
+    torn: List[str] = []
+    digest = checkpoint.trace_digest if checkpoint else ZERO_DIGEST
+    base = checkpoint.generation if checkpoint else 0
+    for generation in store.journal_generations():
+        if generation <= base:
+            continue
+        path = store.journal_path(generation)
+        decoded, was_torn = read_journal(path)
+        if was_torn:
+            torn.append(path.name)
+        for entry in decoded:
+            if isinstance(entry, DeliveryEntry):
+                entries.append(entry)
+                digest = chain_digest(digest, entry.key())
+            else:
+                notes.append(entry)
+    return RecordView(
+        checkpoint=checkpoint,
+        entries=entries,
+        notes=notes,
+        torn=torn,
+        trace_digest=digest,
+    )
