@@ -11,11 +11,20 @@ in making the error.  This module turns that reading into tooling:
 * :func:`transfers` — the chain folded into (sender → receiver) hops;
 * :func:`blame` — diff the actual route against a :class:`RoutePolicy`
   and point at the principals around the first deviation;
-* :func:`matching_suffixes` / :func:`first_compliant_suffix` — pattern
-  queries over a trace ("since when does this history satisfy π?"),
-  riding the incremental lazy-DFA engine: every suffix of the spine *is*
-  an interned node, so querying all of them costs one spine pass, and a
-  provenance already vetted by the runtime answers from cache.
+* :func:`matching_suffixes` / :func:`iter_matching_suffixes` /
+  :func:`first_compliant_suffix` — pattern queries over a trace ("since
+  when does this history satisfy π?"), riding the incremental lazy-DFA
+  engine: every suffix of the spine *is* an interned node, so querying
+  all of them costs one spine pass, and a provenance already vetted by
+  the runtime answers from cache.
+
+The eager sweep is a thin wrapper over the provenance query index
+(:mod:`repro.query`): with no explicit engine, :func:`matching_suffixes`
+delegates to the process-global :func:`~repro.query.index.default_index`,
+whose per-``(node, pattern)`` memo makes repeated audits over the same
+interned spine a dict hit.  :func:`iter_matching_suffixes` is the lazy
+variant for million-event spines — it materializes nothing and bounds
+memory at the DFA engine's cache cap regardless of spine depth.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ __all__ = [
     "RoutePolicy",
     "AuditReport",
     "blame",
+    "iter_matching_suffixes",
     "matching_suffixes",
     "first_compliant_suffix",
 ]
@@ -118,6 +128,24 @@ def _suffix_matches(pattern: Pattern, engine: PolicyEngine):
     return pattern.matches
 
 
+def iter_matching_suffixes(
+    provenance: Provenance,
+    pattern: Pattern,
+    engine: PolicyEngine | None = None,
+):
+    """Lazily yield the suffixes ``κᵢ`` with ``κᵢ ⊨ π``, longest first.
+
+    Nothing is materialized: each yielded suffix is the interned spine
+    node itself, the generator holds O(1) state, and the DFA engine's
+    bounded state cache is the only memory that grows — so sweeping a
+    million-event spine (or stopping after the first few hits) never
+    builds a million-element list.  Regression-tested at depth ≥ 100k.
+    """
+
+    decide = _suffix_matches(pattern, engine or default_engine())
+    return (suffix for suffix in provenance.suffixes() if decide(suffix))
+
+
 def matching_suffixes(
     provenance: Provenance,
     pattern: Pattern,
@@ -130,10 +158,19 @@ def matching_suffixes(
     moments at which the policy held.  Suffixes are the interned spine
     nodes themselves (zero allocation) and the whole sweep costs one
     incremental-DFA pass.
+
+    With no explicit ``engine`` the sweep is answered by the
+    process-global provenance query index, which memoizes the result
+    per ``(interned node, pattern)`` — sound forever, since a node's
+    suffix history is immutable.  For a lazy, memory-bounded variant
+    use :func:`iter_matching_suffixes`.
     """
 
-    decide = _suffix_matches(pattern, engine or default_engine())
-    return [suffix for suffix in provenance.suffixes() if decide(suffix)]
+    if engine is None:
+        from repro.query.index import default_index
+
+        return list(default_index().matching_suffixes(provenance, pattern))
+    return list(iter_matching_suffixes(provenance, pattern, engine))
 
 
 def first_compliant_suffix(

@@ -12,6 +12,8 @@ stdin when the path is ``-``)::
     python -m repro analyse system.pi        # static flow verdicts
     python -m repro lint system.pi           # static policy gate (+--json)
     python -m repro fmt system.pi            # parse and pretty-print
+    python -m repro query store/ --taint a   # provenance queries over a
+                                             # durable store's record
 
 The input syntax is the concrete syntax of `repro.lang` (see README);
 ``--principal NAME`` declares data-only principals the pre-scan cannot
@@ -54,6 +56,17 @@ def _print_timings(**phases: float) -> None:
         f"{name}={seconds * 1000:.1f}ms" for name, seconds in phases.items()
     )
     print(f"timings: {rendered}")
+
+
+def _write_stats_json(path: str, payload: dict) -> None:
+    """Dump a metrics summary (or merged+per-shard bundle) as JSON."""
+
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"stats written to {path}")
 
 
 def _strategy(name: str, seed: int):
@@ -214,11 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --durable: compact the journal into an atomic "
         "checkpoint every N events (N barrier windows when sharded)",
     )
+    sim_p.add_argument(
+        "--stats-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also dump the metrics summary as JSON to PATH "
+        "(sharded runs include the merged summary and every "
+        "per-shard summary)",
+    )
 
     recover_p = sub.add_parser(
         "recover",
         help="load a durable store, report its record, and verify it "
         "replays bit-identically",
+        description="Load a durable store, report its record, and "
+        "verify the record replays bit-identically from the manifest. "
+        "Exit status: 0 = record loads and replay verification passed "
+        "(or was skipped); 1 = replay verification FAILED — the "
+        "diagnostic names the first divergent generation; 2 = the "
+        "store is missing, unreadable, or has no manifest.",
     )
     recover_p.add_argument("dir", help="store directory from --durable")
     recover_p.add_argument(
@@ -228,6 +256,87 @@ def build_parser() -> argparse.ArgumentParser:
         "what the store holds)",
     )
     recover_p.add_argument("--max-events", type=int, default=10_000_000)
+
+    query_p = sub.add_parser(
+        "query",
+        help="where/why provenance queries over a durable store's record",
+        description="Build (or resume, from the snapshot persisted at "
+        "the last checkpoint) the provenance query index over a durable "
+        "store's delivery record, and answer where/why queries against "
+        "it.  With no query flags, prints the index summary.",
+    )
+    query_p.add_argument("dir", help="store directory from --durable")
+    query_p.add_argument(
+        "--derived-from",
+        metavar="PRINCIPAL",
+        default=None,
+        help="deliveries whose payload provenance contains a send by "
+        "PRINCIPAL (dataflow: 'where did this principal's data end up?')",
+    )
+    query_p.add_argument(
+        "--taint",
+        metavar="PRINCIPAL",
+        default=None,
+        help="forward closure over dataflow edges from every delivery "
+        "PRINCIPAL touched ('what could this principal have influenced?')",
+    )
+    query_p.add_argument(
+        "--cone",
+        type=int,
+        metavar="ORDINAL",
+        default=None,
+        help="cone of influence: every delivery the given one "
+        "(transitively) happens-after",
+    )
+    query_p.add_argument(
+        "--witness",
+        metavar="PATTERN",
+        default=None,
+        help="minimal witness suffix satisfying PATTERN (concrete "
+        "pattern syntax, e.g. '~!any;(~?any;~!any)*') on a delivered "
+        "value's provenance (see --ordinal)",
+    )
+    query_p.add_argument(
+        "--ordinal",
+        type=int,
+        default=None,
+        metavar="N",
+        help="delivery the --witness query inspects (default: the "
+        "newest provenance-carrying delivery)",
+    )
+    query_p.add_argument(
+        "--receiver",
+        metavar="PRINCIPAL",
+        default=None,
+        help="planned where-query: deliveries received by PRINCIPAL "
+        "(prints the chosen access path)",
+    )
+    query_p.add_argument(
+        "--channel",
+        metavar="NAME",
+        default=None,
+        help="planned where-query: deliveries on channel NAME "
+        "(combines with --receiver)",
+    )
+    query_p.add_argument(
+        "--export-prov",
+        metavar="PATH",
+        default=None,
+        help="export the dataflow graph as W3C PROV-JSON to PATH",
+    )
+    query_p.add_argument(
+        "--export-dot",
+        metavar="PATH",
+        default=None,
+        help="export the happens-before graph as graphviz DOT to PATH",
+    )
+    query_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap exports at the first N deliveries",
+    )
 
     analyse_p = sub.add_parser("analyse", help="static provenance-flow verdicts")
     common(analyse_p)
@@ -272,7 +381,12 @@ def _print_recovered_state(state, indent: str = "") -> None:
 
 
 def _cmd_recover(args) -> int:
-    """Load a durable store, report its record, optionally verify replay."""
+    """Load a durable store, report its record, optionally verify replay.
+
+    Exit status: 0 = clean (or verification skipped); 1 = replay
+    verification failed — one-line diagnostic names the first divergent
+    generation; 2 = store missing/unreadable/no manifest.
+    """
 
     from repro.core.errors import StorageError
     from repro.storage import DurableStore, load_state, verify_replay
@@ -311,11 +425,195 @@ def _cmd_recover(args) -> int:
                 f"replayed bit-identically ({report.replayed} replayed)"
             )
             return 0
-        print(f"verify: FAILED — {report.detail}", file=sys.stderr)
+        # one line, naming the first generation whose persisted
+        # deliveries the replay contradicts — that segment (journal
+        # generation or checkpoint) is where recovery should look
+        where = ""
+        if report.divergence_index is not None:
+            generation = state.generation_of(report.divergence_index)
+            if generation is not None:
+                where = (
+                    f" (first divergence in generation {generation}, "
+                    f"delivery #{report.divergence_index})"
+                )
+            else:
+                where = f" (first divergence at delivery #{report.divergence_index})"
+        print(f"verify: FAILED{where} — {report.detail}", file=sys.stderr)
         return 1
     except StorageError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _shard_merged_entries(store, load_state, DurableStore):
+    """All shard stores' entries merged in canonical trace order.
+
+    Same key as ``ShardedRuntime.delivered_trace()``: (time, channel
+    name, per-channel ordinal) — each channel is homed on one shard, so
+    per-shard order totals its deliveries and the merge is independent
+    of the partitioning.
+    """
+
+    keyed = []
+    for shard_path in store.shard_dirs():
+        ordinals = {}
+        for entry in load_state(DurableStore(shard_path)).entries:
+            ordinal = ordinals.get(entry.channel, 0)
+            ordinals[entry.channel] = ordinal + 1
+            keyed.append((entry.time, entry.channel.name, ordinal, entry))
+    keyed.sort(key=lambda item: item[:3])
+    return [entry for _, _, _, entry in keyed]
+
+
+def _cmd_query(args) -> int:
+    """Answer where/why queries over a durable store's record."""
+
+    from repro.core.errors import StorageError
+    from repro.core.names import Principal
+    from repro.query import resume_index, to_dot, write_prov_json
+    from repro.storage import DurableStore, load_state
+
+    store = DurableStore(args.dir)
+    try:
+        manifest = store.read_manifest()
+        if manifest is None:
+            print(f"error: no manifest in {args.dir}", file=sys.stderr)
+            return 2
+        if manifest.get("sharded"):
+            # per-shard records merge canonically; no per-shard snapshot
+            # exists, so the index is built fresh over the merged record
+            from repro.query import ProvenanceIndex
+
+            index = ProvenanceIndex()
+            index.extend_entries(
+                _shard_merged_entries(store, load_state, DurableStore)
+            )
+            info = {"snapshot_generation": None}
+        else:
+            index, info = resume_index(store)
+        summary = index.summary()
+        resumed = info.get("resumed_deliveries", 0)
+        if info.get("snapshot_generation"):
+            print(
+                f"index: resumed snapshot generation "
+                f"{info['snapshot_generation']} "
+                f"({resumed} deliveries reloaded, "
+                f"{info.get('extended_deliveries', 0)} indexed fresh)"
+            )
+        else:
+            print(f"index: built fresh ({summary['delivered']} deliveries)")
+        print(
+            "deliveries={delivered} spine_nodes={spine_nodes} "
+            "hb_edges={hb_edges} generations={generation}".format(**summary)
+        )
+        print(
+            "edges: "
+            + " ".join(
+                f"{kind}={count}"
+                for kind, count in summary["edge_counts"].items()
+            )
+        )
+
+        def show(title, ordinals):
+            print(f"{title}: {len(ordinals)} deliver(y/ies)")
+            for ordinal in ordinals:
+                delivery = index.delivery(ordinal)
+                print(
+                    f"  #{ordinal} t={delivery.time:.2f} "
+                    f"{delivery.principal.name}?{delivery.channel.name}"
+                )
+
+        if args.derived_from is not None:
+            show(
+                f"derived from sends by {args.derived_from}",
+                index.derived_from_sends(Principal(args.derived_from)),
+            )
+        if args.taint is not None:
+            show(
+                f"tainted by {args.taint}",
+                index.taint(Principal(args.taint)),
+            )
+        if args.cone is not None:
+            if not 0 <= args.cone < summary["delivered"]:
+                print(
+                    f"error: --cone {args.cone} out of range "
+                    f"(0..{summary['delivered'] - 1})",
+                    file=sys.stderr,
+                )
+                return 2
+            show(
+                f"cone of influence of #{args.cone}",
+                index.cone_of_influence(args.cone),
+            )
+        if args.receiver is not None or args.channel is not None:
+            from repro.core.names import Channel
+            from repro.query import run_where
+
+            ordinals, plan = run_where(
+                index,
+                receiver=(
+                    Principal(args.receiver) if args.receiver else None
+                ),
+                channel=Channel(args.channel) if args.channel else None,
+            )
+            print(f"plan: {plan.describe()}")
+            show("where", ordinals)
+        if args.witness is not None:
+            from repro.patterns.parse import parse_pattern
+
+            pattern = parse_pattern(args.witness)
+            target = _witness_target(index, args.ordinal)
+            if target is None:
+                print(
+                    "error: no provenance-carrying delivery to inspect",
+                    file=sys.stderr,
+                )
+                return 2
+            ordinal, provenance = target
+            witness = index.minimal_witness(provenance, pattern)
+            matches = index.matching_suffixes(provenance, pattern)
+            if witness is None:
+                print(
+                    f"witness: no suffix of delivery #{ordinal}'s "
+                    f"provenance satisfies the pattern"
+                )
+            else:
+                print(
+                    f"witness: delivery #{ordinal}, minimal suffix of "
+                    f"{len(witness)} event(s) "
+                    f"({len(matches)}/{len(provenance) + 1} "
+                    f"suffixes match)"
+                )
+        if args.export_prov is not None:
+            write_prov_json(index, args.export_prov, limit=args.limit)
+            print(f"wrote PROV-JSON to {args.export_prov}")
+        if args.export_dot is not None:
+            with open(args.export_dot, "w", encoding="utf-8") as handle:
+                handle.write(to_dot(index, limit=args.limit))
+            print(f"wrote DOT to {args.export_dot}")
+        return 0
+    except StorageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _witness_target(index, ordinal):
+    """The (ordinal, provenance) the --witness query inspects."""
+
+    candidates = (
+        [ordinal]
+        if ordinal is not None
+        else range(index.delivered - 1, -1, -1)
+    )
+    for candidate in candidates:
+        if not 0 <= candidate < index.delivered:
+            return None
+        for provenance in index.delivery(candidate).roots:
+            if len(provenance):
+                return candidate, provenance
+        if ordinal is not None:
+            return None
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -323,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "recover":
         # no system file to read — the store's manifest is the input
         return _cmd_recover(args)
+    if args.command == "query":
+        return _cmd_query(args)
     parse_start = perf_counter()
     try:
         system = _read_system(args)
@@ -461,6 +761,14 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
             run_seconds = perf_counter() - deploy_start
             summary = runtime.metrics_summary()
+            if args.stats_json:
+                _write_stats_json(
+                    args.stats_json,
+                    {
+                        "merged": summary,
+                        "shards": list(runtime.shard_summaries()),
+                    },
+                )
             print(
                 f"events={events} time={runtime.now:.2f} "
                 f"blocked={runtime.blocked_threads()} "
@@ -515,6 +823,10 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             durable_wipe=args.durable is not None,
         )
+        if args.durable:
+            # stream deliveries into a query index so each checkpoint
+            # persists a snapshot `repro query` can resume in O(new)
+            runtime.attach_query_index()
         deploy_start = perf_counter()
         runtime.deploy(system)
         events = runtime.run(max_events=args.max_events)
@@ -541,6 +853,8 @@ def main(argv: list[str] | None = None) -> int:
             # `repro recover` needs no journal suffix for a clean exit
             runtime.checkpoint()
         summary = runtime.metrics.summary()
+        if args.stats_json:
+            _write_stats_json(args.stats_json, summary)
         print(
             f"events={events} time={runtime.now:.2f} "
             f"blocked={runtime.blocked_threads()}"

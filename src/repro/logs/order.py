@@ -259,6 +259,22 @@ class LogIndex:
 
         return self._action_count
 
+    def signature_buckets(self) -> dict[_Sig, int]:
+        """Public histogram of the index: signature → position count.
+
+        The signature is ``(action kind, principal, arity)``; the count
+        sums both bucket sides (build-time positions and prefix
+        extensions).  This is the selectivity oracle the query planner
+        reads (:mod:`repro.query.planner`): a principal's total logged
+        activity bounds how many deliveries can carry its actions,
+        without exposing the mutable position lists themselves.
+        """
+
+        return {
+            sig: len(bucket[0]) + len(bucket[2])
+            for sig, bucket in self._buckets.items()
+        }
+
     # -- construction -------------------------------------------------------
 
     def _suffix_variables(self) -> set[Variable]:

@@ -320,6 +320,20 @@ class ChannelManager:
                         branch_index,
                         now - stored.posted_at,
                     )
+                observers = middleware.delivery_observers
+                if observers:
+                    # pure consumers (query indexing): they see exactly
+                    # what the journal sees and touch no runtime state,
+                    # so the delivered trace is bit-identical with or
+                    # without them (gated by E24)
+                    for observe in observers:
+                        observe(
+                            now,
+                            waiter.principal,
+                            self.channel,
+                            values,
+                            branch_index,
+                        )
                 branch.callback(branch_index, values)
                 return True
         return False
@@ -374,6 +388,12 @@ class Middleware:
         when set, every delivery and every trust transition (quarantine,
         revocation, tamper detection) is streamed into the durable
         write-ahead journal."""
+        self.delivery_observers: list = []
+        """Callbacks ``(time, principal, channel, values, branch_index)``
+        invoked on every delivery, after metrics and journal recording —
+        the hook a :class:`~repro.query.ProvenanceIndex` streams from
+        (see ``DistributedRuntime.attach_query_index``).  Observers must
+        not mutate runtime state."""
         self.quarantined: set[Principal] = set()
         """A :class:`~repro.analysis.static_flow.StaticCertificate` (any
         object with ``branch_action``) authorizing check elision, or

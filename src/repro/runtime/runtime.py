@@ -143,6 +143,9 @@ class DistributedRuntime:
                 attestation_lookup=self.middleware.attestations.tag,
             )
             self.middleware.journal = self.durability
+        self.query_index = None
+        """A :class:`~repro.query.ProvenanceIndex` streaming this
+        runtime's deliveries, once :meth:`attach_query_index` ran."""
         self.replication_budget = replication_budget
         self.processing_delay = processing_delay
         if batch_limit is None and scheduler == "runq":
@@ -251,6 +254,28 @@ class DistributedRuntime:
             ),
         }
 
+    def attach_query_index(self, index=None):
+        """Stream every delivery into a provenance query index.
+
+        Registers a delivery observer on the middleware; the index sees
+        exactly what the journal sees, in delivery order, and absorbs
+        batches at generation boundaries (each :meth:`checkpoint`, or
+        on demand at query time).  Observers are pure consumers — the
+        delivered trace is bit-identical with or without one attached
+        (the E24 differential).  Pass an existing index to resume it;
+        returns the attached index.
+        """
+
+        if self.query_index is not None:
+            raise ValueError("a query index is already attached")
+        if index is None:
+            from repro.query import ProvenanceIndex
+
+            index = ProvenanceIndex()
+        self.query_index = index
+        self.middleware.delivery_observers.append(index.observe_delivery)
+        return index
+
     def checkpoint(self):
         """Snapshot the durable record; returns the checkpoint path.
 
@@ -258,6 +283,10 @@ class DistributedRuntime:
         processed, the metrics summary, and the quarantine set; the
         body compacts every journaled delivery into one self-contained,
         atomically renamed segment (see :mod:`repro.storage.checkpoint`).
+        With a query index attached, the index commits the generation
+        and persists a snapshot beside the checkpoint so a later
+        ``repro recover`` / ``repro query`` resumes it without a full
+        rebuild (see :mod:`repro.query.persist`).
         """
 
         if self.durability is None:
@@ -279,7 +308,16 @@ class DistributedRuntime:
                 and self.metrics.certificates_revoked
             ),
         }
-        return self.durability.checkpoint(state)
+        path = self.durability.checkpoint(state)
+        if self.query_index is not None:
+            from repro.query.persist import save_index
+
+            # the sink already rolled to generation+1; the checkpoint
+            # just written carries the previous generation number
+            save_index(
+                self.durable, self.query_index, self.durability.generation - 1
+            )
+        return path
 
     def run(
         self, until: Optional[float] = None, max_events: int = 1_000_000

@@ -1363,6 +1363,25 @@ class ShardedRuntime:
 
         return RuntimeMetrics.merge(*self.shard_summaries())
 
+    def build_query_index(self, index=None):
+        """A provenance query index over the merged global trace.
+
+        Per-shard delivery streams are merged in canonical trace order
+        (:meth:`delivered_trace` — time, channel name, per-channel
+        ordinal) before indexing, so the index is identical for any
+        partitioning and matches an unsharded run's — the cross-shard
+        spines re-intern to the same DAG nodes the v2 wire decoded.
+        One call absorbs the whole trace as one log generation; pass an
+        existing index to extend it with a later run's trace.
+        """
+
+        from repro.query import ProvenanceIndex
+
+        if index is None:
+            index = ProvenanceIndex()
+        index.extend_trace(self.delivered_trace())
+        return index
+
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard load figures — imbalance without a profiler."""
 

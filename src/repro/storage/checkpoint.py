@@ -87,6 +87,20 @@ class RecordView:
     """Names of journal segments whose tails were torn (and truncated
     from the view)."""
     trace_digest: bytes = ZERO_DIGEST
+    segments: List[Tuple[int, int]] = field(default_factory=list)
+    """``(generation, cumulative delivery count)`` per source segment,
+    in record order: the checkpoint first (if any), then each decoded
+    journal generation.  Maps a delivery index back to the generation
+    that persisted it — the diagnostic ``repro recover`` names when a
+    replay diverges."""
+
+    def generation_of(self, index: int) -> Optional[int]:
+        """The generation whose segment holds delivery ``index``."""
+
+        for generation, end in self.segments:
+            if index < end:
+                return generation
+        return None
 
 
 def write_checkpoint(
@@ -238,6 +252,9 @@ def collect_entries(store: DurableStore) -> RecordView:
     torn: List[str] = []
     digest = checkpoint.trace_digest if checkpoint else ZERO_DIGEST
     base = checkpoint.generation if checkpoint else 0
+    segments: List[Tuple[int, int]] = []
+    if checkpoint is not None:
+        segments.append((base, len(entries)))
     for generation in store.journal_generations():
         if generation <= base:
             continue
@@ -251,10 +268,12 @@ def collect_entries(store: DurableStore) -> RecordView:
                 digest = chain_digest(digest, entry.key())
             else:
                 notes.append(entry)
+        segments.append((generation, len(entries)))
     return RecordView(
         checkpoint=checkpoint,
         entries=entries,
         notes=notes,
         torn=torn,
         trace_digest=digest,
+        segments=segments,
     )

@@ -62,6 +62,17 @@ class RecoveredState:
     trace_digest: bytes
     checkpoint_generation: int
     torn: List[str] = field(default_factory=list)
+    segments: List[Tuple[int, int]] = field(default_factory=list)
+    """``(generation, cumulative delivery count)`` per source segment —
+    see :attr:`repro.storage.checkpoint.RecordView.segments`."""
+
+    def generation_of(self, index: int) -> Optional[int]:
+        """The generation whose segment persisted delivery ``index``."""
+
+        for generation, end in self.segments:
+            if index < end:
+                return generation
+        return None
 
     @property
     def delivered(self) -> int:
@@ -102,6 +113,9 @@ class ReplayReport:
     persisted: int
     replayed: int
     detail: str
+    divergence_index: Optional[int] = None
+    """Index of the first persisted delivery the replay contradicts
+    (``None`` when the replay verified)."""
 
 
 def load_state(store: Union[DurableStore, str, Path]) -> RecoveredState:
@@ -143,6 +157,7 @@ def load_state(store: Union[DurableStore, str, Path]) -> RecoveredState:
             record.checkpoint.generation if record.checkpoint else 0
         ),
         torn=record.torn,
+        segments=record.segments,
     )
 
 
@@ -250,6 +265,7 @@ def verify_replay(
             len(replayed),
             f"persisted record has {len(persisted)} deliveries but the "
             f"replay produced only {len(replayed)}",
+            divergence_index=len(replayed),
         )
     for index, (disk, fresh) in enumerate(zip(persisted, replayed)):
         if disk != fresh:
@@ -259,6 +275,7 @@ def verify_replay(
                 len(replayed),
                 f"first divergence at delivery {index}: "
                 f"persisted {disk!r} != replayed {fresh!r}",
+                divergence_index=index,
             )
     suffix = len(replayed) - len(persisted)
     return ReplayReport(

@@ -323,6 +323,7 @@ class AttestationSpill:
 
 _JOURNAL_PATTERN = re.compile(r"journal-(\d{8})\.seg$")
 _CHECKPOINT_PATTERN = re.compile(r"checkpoint-(\d{8})\.ck$")
+_QUERY_INDEX_PATTERN = re.compile(r"queryindex-(\d{8})\.seg$")
 
 
 class DurableStore:
@@ -365,6 +366,12 @@ class DurableStore:
     def checkpoint_path(self, generation: int) -> Path:
         return self.root / f"checkpoint-{generation:08d}.ck"
 
+    def query_index_path(self, generation: int) -> Path:
+        """The provenance-query-index snapshot beside checkpoint
+        ``generation`` (see :mod:`repro.query.persist`)."""
+
+        return self.root / f"queryindex-{generation:08d}.seg"
+
     def windows_path(self) -> Path:
         return self.root / "windows.seg"
 
@@ -387,6 +394,9 @@ class DurableStore:
 
     def checkpoint_generations(self) -> List[int]:
         return self._generations(_CHECKPOINT_PATTERN)
+
+    def query_index_generations(self) -> List[int]:
+        return self._generations(_QUERY_INDEX_PATTERN)
 
     def _generations(self, pattern) -> List[int]:
         found = []
@@ -450,6 +460,14 @@ class DurableStore:
                 path = self.checkpoint_path(generation)
                 path.unlink(missing_ok=True)
                 removed.append(path)
+        snapshots = self.query_index_generations()
+        if snapshots:
+            # a query-index snapshot is only an accelerator: keep the
+            # newest, drop the ones older snapshots already subsume
+            for generation in snapshots[:-1]:
+                path = self.query_index_path(generation)
+                path.unlink(missing_ok=True)
+                removed.append(path)
         return removed
 
     def reset_record(self) -> List[Path]:
@@ -469,6 +487,10 @@ class DurableStore:
             removed.append(path)
         for generation in self.checkpoint_generations():
             path = self.checkpoint_path(generation)
+            path.unlink(missing_ok=True)
+            removed.append(path)
+        for generation in self.query_index_generations():
+            path = self.query_index_path(generation)
             path.unlink(missing_ok=True)
             removed.append(path)
         spill = self.spill_path()

@@ -122,3 +122,87 @@ class TestTraceQueries:
         matching_suffixes(provenance, pattern, engine)
         # one transition per spine event, not per (suffix, event) pair
         assert engine.transitions_taken == len(events)
+
+
+class TestLazySweep:
+    """``iter_matching_suffixes``: million-event audits without the list.
+
+    The regression the eager sweep invites: materializing every
+    matching suffix of a very deep spine builds a list as long as the
+    history.  The lazy variant yields interned nodes one at a time —
+    O(1) generator state, no recursion — so an auditor can stop after
+    the first few hits at any depth.
+    """
+
+    DEPTH = 100_000
+
+    def deep(self):
+        people = [pr(f"p{i}") for i in range(4)]
+        spine = EMPTY
+        for i in range(self.DEPTH):
+            spine = spine.cons(OutputEvent(people[i % 4]))
+        return spine
+
+    def test_lazy_sweep_at_depth_100k(self):
+        from itertools import islice
+
+        from repro.analysis.audit import iter_matching_suffixes
+        from repro.patterns.parse import parse_pattern
+
+        spine = self.deep()
+        pattern = parse_pattern("(~!any|~?any)*")
+        lazy = iter_matching_suffixes(spine, pattern)
+        # a generator, not a list — nothing materialized yet
+        assert iter(lazy) is lazy
+        first = list(islice(lazy, 3))
+        assert first[0] is spine
+        assert first[1] is spine.tail
+        assert all(len(s) == self.DEPTH - i for i, s in enumerate(first))
+
+    def test_lazy_sweep_completes_without_recursion(self):
+        import sys
+
+        from repro.analysis.audit import iter_matching_suffixes
+        from repro.patterns.parse import parse_pattern
+
+        spine = self.deep()
+        assert self.DEPTH > 10 * sys.getrecursionlimit()
+        count = sum(
+            1
+            for _ in iter_matching_suffixes(
+                spine, parse_pattern("(~!any|~?any)*")
+            )
+        )
+        assert count == self.DEPTH + 1  # every suffix (incl. ε) matches
+
+    def test_lazy_agrees_with_eager(self):
+        from repro.analysis.audit import (
+            iter_matching_suffixes,
+            matching_suffixes,
+        )
+        from repro.patterns.dfa import PolicyEngine
+        from repro.patterns.parse import parse_pattern
+
+        people = [pr(f"p{i}") for i in range(3)]
+        spine = EMPTY
+        for i in range(50):
+            spine = spine.cons(OutputEvent(people[i % 3]))
+            spine = spine.cons(InputEvent(people[(i + 1) % 3]))
+        pattern = parse_pattern("~?any;(~!any|~?any)*")
+        assert list(iter_matching_suffixes(spine, pattern)) == (
+            matching_suffixes(spine, pattern, PolicyEngine())
+        )
+
+    def test_eager_default_engine_rides_the_query_index_cache(self):
+        from repro.analysis.audit import matching_suffixes
+        from repro.patterns.parse import parse_pattern
+        from repro.query.index import default_index
+
+        spine = self.deep()
+        pattern = parse_pattern("(~!any|~?any)*")
+        first = matching_suffixes(spine, pattern)
+        cached = default_index().matching_suffixes(spine, pattern)
+        # audit's eager sweep answered from (and warmed) the global
+        # index's forever-cache: repeats are the same tuple object
+        assert cached is default_index().matching_suffixes(spine, pattern)
+        assert first == list(cached)

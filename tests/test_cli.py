@@ -181,3 +181,177 @@ class TestLint:
         assert main(["lint", path]) == 1
         capsys.readouterr()
         assert main(["lint", path, "--principal", "b"]) == 0
+
+
+class TestStatsJson:
+    def test_single_runtime_summary_is_dumped(self, system_file, tmp_path, capsys):
+        import json
+
+        stats = tmp_path / "stats.json"
+        assert main(["sim", system_file, "--stats-json", str(stats)]) == 0
+        assert "stats written to" in capsys.readouterr().out
+        payload = json.loads(stats.read_text())
+        assert payload["deliveries"] == 2
+        assert payload["messages_sent"] == 3
+
+    def test_sharded_dump_has_merged_and_per_shard(
+        self, system_file, tmp_path, capsys
+    ):
+        import json
+
+        stats = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "sim",
+                    system_file,
+                    "--shards",
+                    "2",
+                    "--stats-json",
+                    str(stats),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(stats.read_text())
+        assert payload["merged"]["deliveries"] == 2
+        assert len(payload["shards"]) == 2
+        assert sum(s["deliveries"] for s in payload["shards"]) == 2
+
+
+class TestQueryCommand:
+    def captured(self, system_file, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sim", system_file, "--durable", str(store)]) == 0
+        return str(store)
+
+    def test_summary_resumes_the_checkpoint_snapshot(
+        self, system_file, tmp_path, capsys
+    ):
+        store = self.captured(system_file, tmp_path)
+        capsys.readouterr()
+        assert main(["query", store]) == 0
+        out = capsys.readouterr().out
+        assert "resumed snapshot generation 1" in out
+        assert "deliveries=2" in out
+
+    def test_where_and_why_queries(self, system_file, tmp_path, capsys):
+        store = self.captured(system_file, tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    store,
+                    "--derived-from",
+                    "a",
+                    "--taint",
+                    "a",
+                    "--cone",
+                    "1",
+                    "--receiver",
+                    "c",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "derived from sends by a: 2" in out
+        assert "tainted by a: 2" in out
+        assert "cone of influence of #1: 1" in out
+        assert "plan: received-by" in out
+
+    def test_witness_query(self, system_file, tmp_path, capsys):
+        store = self.captured(system_file, tmp_path)
+        capsys.readouterr()
+        assert main(["query", store, "--witness", "s!any;any"]) == 0
+        out = capsys.readouterr().out
+        assert "witness: delivery #1" in out
+
+    def test_exports_write_files(self, system_file, tmp_path, capsys):
+        import json
+
+        store = self.captured(system_file, tmp_path)
+        capsys.readouterr()
+        prov = tmp_path / "prov.json"
+        dot = tmp_path / "hb.dot"
+        assert (
+            main(
+                [
+                    "query",
+                    store,
+                    "--export-prov",
+                    str(prov),
+                    "--export-dot",
+                    str(dot),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(prov.read_text())["activity"]
+        assert dot.read_text().startswith("digraph")
+
+    def test_sharded_store_merges_canonically(
+        self, system_file, tmp_path, capsys
+    ):
+        store = tmp_path / "shstore"
+        assert (
+            main(
+                [
+                    "sim",
+                    system_file,
+                    "--shards",
+                    "2",
+                    "--durable",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", str(store), "--taint", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "built fresh (2 deliveries)" in out
+        assert "tainted by a: 2" in out
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cone_out_of_range_exits_two(self, system_file, tmp_path, capsys):
+        store = self.captured(system_file, tmp_path)
+        capsys.readouterr()
+        assert main(["query", store, "--cone", "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestRecoverExitCodes:
+    def test_clean_store_exits_zero(self, system_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["sim", system_file, "--durable", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["recover", str(store)]) == 0
+        assert "verify: ok" in capsys.readouterr().out
+
+    def test_missing_manifest_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["recover", str(empty)]) == 2
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_failed_verify_exits_one_and_names_the_generation(
+        self, system_file, tmp_path, capsys
+    ):
+        import json
+
+        store = tmp_path / "store"
+        assert main(["sim", system_file, "--durable", str(store)]) == 0
+        capsys.readouterr()
+        manifest = store / "MANIFEST.json"
+        payload = json.loads(manifest.read_text())
+        payload["system"] = payload["system"].replace("m<v>", "m<w>")
+        manifest.write_text(json.dumps(payload))
+        assert main(["recover", str(store)]) == 1
+        err = capsys.readouterr().err
+        assert "verify: FAILED" in err
+        assert "first divergence in generation 1" in err
